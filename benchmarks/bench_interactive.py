@@ -1,0 +1,53 @@
+"""F6 -- Figure 6 / interactive mode: the xwafedesign workflow.
+
+"The interactive mode offers the possibility to examine the effects of
+different commands" -- this bench replays a designer session (create,
+inspect, adjust, destroy) and measures per-command latency, the number
+that determines how fluid interactive prototyping feels.
+"""
+
+import io
+
+from repro.core import InteractiveSession
+
+SESSION = [
+    "form f topLevel",
+    "label title f label {Designer} borderWidth 0",
+    "command ok f fromVert title label OK",
+    "realize",
+    "gV ok label",
+    "sV ok background gray75",
+    "echo [getResourceList ok r]",
+    "widgetTree f",
+    "destroyWidget ok",
+    "widgetTree f",
+]
+
+
+def test_designer_session_replay(benchmark, wafe):
+    def replay():
+        # Reset widgets from the previous round.
+        for name in list(wafe.widgets):
+            if name != "topLevel":
+                wafe.run_command_line("destroyWidget %s" % name)
+        session = InteractiveSession(wafe, output=io.StringIO())
+        for command in SESSION:
+            session.execute(command)
+        return session.transcript
+
+    transcript = benchmark(replay)
+    assert len(transcript) == len(SESSION)
+    assert transcript[4][1] == "OK"            # gV ok label
+    tree_after = transcript[-1][1]
+    assert "ok" not in tree_after
+    print("\nreplayed %d designer commands; final tree: %s"
+          % (len(SESSION), tree_after))
+
+
+def test_single_interactive_command_latency(benchmark, wafe):
+    session = InteractiveSession(wafe, output=io.StringIO())
+    session.execute("label l topLevel")
+    session.execute("realize")
+
+    result = benchmark(session.execute, "gV l label")
+    assert result == "l"

@@ -1,0 +1,66 @@
+"""T3 -- the "Athena List Widget Callback" percent-code table.
+
+Regenerates the three rows (%w widget's name, %i index, %s active
+element) through real clicks on a realized List, including the paper's
+own usage example ``sV chooseLst callback "sV confirmLab label %s"``.
+"""
+
+from benchmarks.conftest import click
+
+
+def _click_row(wafe, list_name, row):
+    lst = wafe.lookup_widget(list_name)
+    x, y = lst.window.absolute_origin()
+    row_y = y + lst.resources["internalHeight"] + row * lst.row_height() + 1
+    wafe.app.default_display.click(x + 3, row_y)
+    wafe.app.process_pending()
+
+
+def test_list_callback_codes_table(benchmark, wafe, echo_lines):
+    wafe.run_script("list lst topLevel list {alpha beta gamma}")
+    wafe.run_script('sV lst callback "echo w=%w i=%i s=%s"')
+    wafe.run_script("realize")
+
+    def select_each():
+        echo_lines.clear()
+        for row in range(3):
+            _click_row(wafe, "lst", row)
+        return list(echo_lines)
+
+    lines = benchmark(select_each)
+    print("\nList callback substitutions:")
+    for line in lines:
+        print("  " + line)
+    assert lines == ["w=lst i=0 s=alpha", "w=lst i=1 s=beta",
+                     "w=lst i=2 s=gamma"]
+
+
+def test_paper_confirm_label_example(benchmark, wafe):
+    # sV chooseLst callback "sV confirmLab label %s"
+    wafe.run_script("form f topLevel")
+    wafe.run_script("label confirmLab f label {}")
+    wafe.run_script("list chooseLst f fromVert confirmLab "
+                    "list {first second third}")
+    wafe.run_script('sV chooseLst callback "sV confirmLab label %s"')
+    wafe.run_script("realize")
+
+    def select_second():
+        _click_row(wafe, "chooseLst", 1)
+        return wafe.run_script("gV confirmLab label")
+
+    result = benchmark(select_second)
+    assert result == "second"
+
+
+def test_list_selection_latency(benchmark, wafe):
+    """Cost of one click -> Set/Notify actions -> callback -> Tcl."""
+    items = " ".join("item%03d" % i for i in range(40))
+    wafe.run_script("list big topLevel list {%s}" % items)
+    wafe.run_script('sV big callback "set picked %s"')
+    wafe.run_script("realize")
+
+    def pick():
+        _click_row(wafe, "big", 17)
+        return wafe.run_script("set picked")
+
+    assert benchmark(pick) == "item017"

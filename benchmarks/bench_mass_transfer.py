@@ -1,0 +1,123 @@
+"""C6 -- the mass transfer mechanism.
+
+"In some larger applications it is necessary to transfer a bulk of
+data ... it is preferable to establish an additional (optional) data
+channel where no parsing or interpretation is performed."
+
+Transfers N bytes from a live backend both ways -- through the parsed
+command channel (a giant ``%set`` line) and through the raw mass
+channel (``getChannel`` + ``setCommunicationVariable``) -- and reports
+throughput.  The paper's shape: the mass channel wins for bulk data.
+"""
+
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.core.channel import LineParser
+from repro.core.frontend import Frontend
+
+SIZES = [1_000, 10_000, 100_000]
+
+
+def _fresh(wafe):
+    for name in list(wafe.widgets):
+        if name != "topLevel":
+            wafe.run_command_line("destroyWidget %s" % name)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_mass_channel_transfer(benchmark, wafe, tmp_path, size):
+    script = tmp_path / ("mass_%d.py" % size)
+    script.write_text(textwrap.dedent('''
+        import os, sys
+        print("%echo listening on [getChannel]")
+        sys.stdout.flush()
+        fd = int(sys.stdin.readline().split()[-1])
+        for line in sys.stdin:
+            if line.strip() == "bye":
+                break
+            print("%setCommunicationVariable C {size} {{set got 1}}")
+            sys.stdout.flush()
+            os.write(fd, b"B" * {size})
+    '''.format(size=size)))
+
+    frontend = Frontend(wafe, [sys.executable, "-u", str(script)])
+    wafe.main_loop(until=lambda: frontend.parser.lines_seen > 0,
+                   max_idle=600)
+
+    def transfer():
+        wafe.run_command_line("set got 0")
+        frontend.send("go\n")
+        wafe.main_loop(until=lambda: wafe.run_script("set got") == "1",
+                       max_idle=1500)
+        return len(wafe.run_script("set C"))
+
+    received = benchmark.pedantic(transfer, rounds=5, iterations=1)
+    frontend.send("bye\n")
+    frontend.close()
+    assert received == size
+    mean_s = benchmark.stats["mean"]
+    print("\nmass channel, %d bytes: %.2f MB/s"
+          % (size, size / mean_s / 1e6))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_command_channel_transfer(benchmark, wafe, size):
+    """Baseline: the same payload as a parsed %set command line."""
+    payload = "B" * size
+    line = ("%set C {" + payload + "}\n").encode()
+    parser = LineParser(max_line=max(65536, size * 2))
+
+    def transfer():
+        for kind, text in parser.feed(line):
+            if kind == "command":
+                wafe.run_command_line(text)
+        return len(wafe.run_script("set C"))
+
+    received = benchmark(transfer)
+    assert received == size
+    mean_s = benchmark.stats["mean"]
+    print("\ncommand channel, %d bytes: %.2f MB/s"
+          % (size, size / mean_s / 1e6))
+
+
+def test_channels_comparison_table(benchmark, wafe, tmp_path):
+    """Side-by-side throughput for the biggest size (in-process timing
+    of the two code paths, no subprocess noise)."""
+    size = 100_000
+    payload = b"C" * size
+
+    from repro.core.channel import MassTransferState
+
+    def mass_path():
+        state = MassTransferState("C", size, "")
+        result = state.feed(payload)
+        data, __ = result
+        wafe.interp.set_var("C", data.decode())
+        return len(wafe.run_script("set C"))
+
+    parser = LineParser(max_line=size * 2)
+    line = b"%set D {" + payload + b"}\n"
+
+    def command_path():
+        for kind, text in parser.feed(line):
+            if kind == "command":
+                wafe.run_command_line(text)
+        return len(wafe.run_script("set D"))
+
+    start = time.perf_counter()
+    assert mass_path() == size
+    mass_s = time.perf_counter() - start
+    start = time.perf_counter()
+    assert command_path() == size
+    command_s = time.perf_counter() - start
+    benchmark(mass_path)
+    print("\n100 kB transfer paths:")
+    print("  mass channel    : %8.2f MB/s" % (size / mass_s / 1e6))
+    print("  command channel : %8.2f MB/s (parsed + interpreted)"
+          % (size / command_s / 1e6))
+    print("  mass channel advantage: %.1fx" % (command_s / mass_s))
+    assert mass_s < command_s  # no parsing beats parsing

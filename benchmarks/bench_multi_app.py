@@ -1,0 +1,68 @@
+"""C7 -- "a single Wafe binary serves multiple applications".
+
+One frontend build (one command table, one process image) runs
+backends written in different languages and with different GUIs, one
+after the other -- the deployment story behind the xwafe* demo family.
+"""
+
+import sys
+import textwrap
+
+from repro.core.frontend import Frontend
+
+PY_BACKEND = '''
+    import sys
+    print("%label who topLevel label {python app}")
+    print("%realize")
+    print("%set lang python")
+    sys.stdout.flush()
+'''
+
+SH_BACKEND = '''\
+echo '%label who topLevel label {shell app}'
+echo '%realize'
+echo '%set lang sh'
+'''
+
+
+def test_one_frontend_many_backends(benchmark, wafe, tmp_path):
+    py_script = tmp_path / "app.py"
+    py_script.write_text(textwrap.dedent(PY_BACKEND))
+    sh_script = tmp_path / "app.sh"
+    sh_script.write_text(SH_BACKEND)
+
+    def serve_both():
+        served = []
+        for command in ([sys.executable, "-u", str(py_script)],
+                        ["/bin/sh", str(sh_script)]):
+            for name in list(wafe.widgets):
+                if name != "topLevel":
+                    wafe.run_command_line("destroyWidget %s" % name)
+            wafe.run_command_line("set lang {}")
+            frontend = Frontend(wafe, command)
+            wafe.main_loop(
+                until=lambda: wafe.run_script("set lang") != "",
+                max_idle=600)
+            served.append((wafe.run_script("set lang"),
+                           wafe.run_script("gV who label")))
+            frontend.close()
+        return served
+
+    served = benchmark.pedantic(serve_both, rounds=3, iterations=1)
+    print("\none Wafe instance served:")
+    for lang, label in served:
+        print("  %-7s backend -> GUI label %r" % (lang, label))
+    assert served == [("python", "python app"), ("sh", "shell app")]
+
+
+def test_same_command_table_across_backends(benchmark, wafe):
+    """The command table is the binary's configuration: identical for
+    every application it serves."""
+
+    def snapshot():
+        return frozenset(wafe.interp.commands)
+
+    before = snapshot()
+    result = benchmark(snapshot)
+    assert result == before
+    assert {"label", "command", "sV", "gV", "echo", "realize"} <= set(before)

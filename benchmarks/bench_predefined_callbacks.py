@@ -1,0 +1,82 @@
+"""T1 -- the "Predefined Callbacks" table.
+
+Regenerates every row: none / exclusive / nonexclusive (realize shell +
+grab kind), popdown (unrealize shell), position, positionCursor; checks
+the documented grab semantics and times a popup/popdown cycle through
+the predefined-callback machinery.
+"""
+
+import pytest
+
+from repro.xt.shell import TransientShell
+from benchmarks.conftest import click
+
+ROWS = [
+    ("none", "realize shell, grab none"),
+    ("exclusive", "realize shell, grab exclusive"),
+    ("nonexclusive", "realize shell, grab nonexclusive"),
+    ("popdown", "unrealize shell"),
+    ("position", "position shell"),
+    ("positionCursor", "position shell under pointer"),
+]
+
+
+def make_popup(wafe):
+    shell = TransientShell("popup", wafe.top_level,
+                           args={"x": "300", "y": "300"})
+    wafe.widgets["popup"] = shell
+    wafe.run_script("label inside popup label {content}")
+    return shell
+
+
+@pytest.mark.parametrize("name,description", ROWS)
+def test_predefined_callback_row(benchmark, wafe, name, description):
+    shell = make_popup(wafe)
+    wafe.run_script("form f topLevel")
+    wafe.run_script("command b f")
+    if name in ("none", "exclusive", "nonexclusive"):
+        wafe.run_script("callback b callback %s popup" % name)
+    elif name == "popdown":
+        wafe.run_script("callback b callback none popup")
+        wafe.run_script("command down f fromVert b")
+        wafe.run_script("callback down callback popdown popup")
+    elif name == "position":
+        wafe.run_script("callback b callback none popup")
+        wafe.run_script("callback b callback position popup 111 99")
+    else:  # positionCursor
+        wafe.run_script("callback b callback none popup")
+        wafe.run_script("callback b callback positionCursor popup")
+    wafe.run_script("realize")
+    display = wafe.app.default_display
+
+    def drive():
+        click(wafe, "b")
+        if name == "popdown":
+            click(wafe, "down")
+        if shell.popped_up:
+            shell.popdown()
+            display.ungrab_pointer()
+
+    benchmark(drive)
+
+    # Semantic checks per row (re-fire once and inspect).
+    click(wafe, "b")
+    if name == "none":
+        assert shell.popped_up and display.grab_window is None
+    elif name == "exclusive":
+        assert shell.popped_up and display.grab_window is shell.window
+        assert display.grab_owner_events is False
+    elif name == "nonexclusive":
+        assert shell.popped_up and display.grab_owner_events is True
+    elif name == "popdown":
+        assert shell.popped_up
+        click(wafe, "down")
+        assert not shell.popped_up
+    elif name == "position":
+        assert (shell.resources["x"], shell.resources["y"]) == (111, 99)
+    else:
+        button = wafe.lookup_widget("b")
+        bx, by = button.window.absolute_origin()
+        assert (shell.resources["x"], shell.resources["y"]) == \
+            (bx + 2, by + 2)
+    print("predefined %-14s -> %s: OK" % (name, description))

@@ -1,0 +1,86 @@
+"""F5 -- Figure 5 and the Perl program: the three-phase frontend app.
+
+Runs the prime-factor demo end to end against a live backend process:
+phase 1 spawn, phase 2 the backend builds the widget tree over the
+pipe, phase 3 the read loop -- user types a number, the action echoes
+it to the backend, the backend factors it and updates the labels.
+"""
+
+import os
+import sys
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def test_prime_factor_session(benchmark, wafe):
+    from repro.core.frontend import Frontend
+
+    backend = os.path.abspath(os.path.join(EXAMPLES, "primefactors.py"))
+    frontend = Frontend(wafe, [sys.executable, "-u", backend, "--backend"])
+
+    wafe.main_loop(until=lambda: "info" in wafe.widgets and
+                   wafe.widgets["info"].window is not None, max_idle=400)
+    display = wafe.app.default_display
+    text = wafe.lookup_widget("input")
+    numbers = iter([60, 97, 1001, 362880, 65536, 999, 123456] * 50)
+
+    def factor_one():
+        number = next(numbers)
+        wafe.run_script("sV result label {}; sV input string {}")
+        wafe.lookup_widget("input").set_insertion_point(0)
+        display.type_string(text.window, str(number))
+        display.type_string(text.window, "\r")
+        wafe.app.process_pending()
+        wafe.main_loop(until=lambda: wafe.run_script("gV result label") != "",
+                       max_idle=800)
+        result = wafe.run_script("gV result label")
+        product = 1
+        for factor in result.split("*"):
+            product *= int(factor)
+        assert product == number, (result, number)
+        return result
+
+    result = benchmark.pedantic(factor_one, rounds=10, iterations=1)
+    print("\nlast factorization: %s" % result)
+    frontend.close()
+
+
+def test_three_phases_observable(benchmark, wafe, tmp_path):
+    """Phase boundaries: spawn -> tree built -> read loop serving."""
+    import textwrap
+    import time
+
+    from repro.core.frontend import Frontend
+
+    script = tmp_path / "phases.py"
+    script.write_text(textwrap.dedent('''
+        import sys
+        print("%label l topLevel label phase2")
+        print("%realize")
+        sys.stdout.flush()
+        for line in sys.stdin:
+            print("%sV l label {phase3 " + line.strip() + "}")
+            sys.stdout.flush()
+    '''))
+
+    def run_phases():
+        for name in list(wafe.widgets):
+            if name != "topLevel":
+                wafe.run_command_line("destroyWidget %s" % name)
+        frontend = Frontend(wafe, [sys.executable, "-u", str(script)])
+        t0 = time.perf_counter()
+        wafe.main_loop(until=lambda: "l" in wafe.widgets and
+                       wafe.widgets["l"].realized, max_idle=400)
+        t1 = time.perf_counter()
+        frontend.send("serving\n")
+        wafe.main_loop(
+            until=lambda: wafe.run_script("gV l label") == "phase3 serving",
+            max_idle=400)
+        t2 = time.perf_counter()
+        frontend.close()
+        return (t1 - t0) * 1000, (t2 - t1) * 1000
+
+    build_ms, serve_ms = benchmark.pedantic(run_phases, rounds=3,
+                                            iterations=1)
+    print("\nphase 2 (tree built over pipe): %.1f ms" % build_ms)
+    print("phase 3 (first read-loop interaction): %.1f ms" % serve_ms)

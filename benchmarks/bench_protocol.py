@@ -1,0 +1,74 @@
+"""F4 -- Figure 4: the communication mechanism.
+
+Measures the command channel (``%``-prefixed lines through the parser
+into the Tcl interpreter) and the full frontend round trip against a
+real child process: backend prints a command, Wafe executes it,
+callback echoes back, backend replies.
+"""
+
+import sys
+import textwrap
+
+from repro.core.channel import LineParser
+from repro.core.frontend import Frontend
+
+
+def test_line_parser_throughput(benchmark):
+    parser = LineParser()
+    block = ("%set a 1\n" * 500 + "plain output line\n" * 500).encode()
+
+    def feed():
+        return len(parser.feed(block))
+
+    count = benchmark(feed)
+    assert count == 1000
+
+
+def test_command_channel_execution_rate(benchmark, wafe):
+    """Commands/second arriving from a (simulated) backend line stream."""
+    parser = LineParser()
+    block = "".join("%%set v%d %d\n" % (i, i) for i in range(200)).encode()
+
+    def execute_block():
+        for kind, line in parser.feed(block):
+            if kind == "command":
+                wafe.run_command_line(line)
+        return wafe.run_script("set v199")
+
+    assert benchmark(execute_block) == "199"
+
+
+def test_frontend_round_trip_latency(benchmark, wafe, tmp_path):
+    """One full ping-pong with a live child process per round."""
+    script = tmp_path / "pong.py"
+    script.write_text(textwrap.dedent('''
+        import sys
+        print("%set ready 1")
+        sys.stdout.flush()
+        for line in sys.stdin:
+            n = line.strip()
+            if n == "stop":
+                break
+            print("%set pong " + n)
+            sys.stdout.flush()
+    '''))
+    frontend = Frontend(wafe, [sys.executable, "-u", str(script)])
+    wafe.main_loop(until=lambda: wafe.interp.var_exists("ready"),
+                   max_idle=400)
+    counter = [0]
+
+    def round_trip():
+        counter[0] += 1
+        expected = str(counter[0])
+        frontend.send(expected + "\n")
+        wafe.main_loop(
+            until=lambda: wafe.interp.var_exists("pong") and
+            wafe.run_script("set pong") == expected,
+            max_idle=800)
+        return wafe.run_script("set pong")
+
+    result = benchmark.pedantic(round_trip, rounds=20, iterations=1)
+    assert result == str(counter[0])
+    frontend.send("stop\n")
+    frontend.close()
+    print("\n%d full frontend<->backend round trips completed" % counter[0])

@@ -1,0 +1,49 @@
+"""E1 -- the interactive getResourceList example.
+
+"the number of resources available for the Label widget class is
+printed, which is 42 using the X11R5 Xaw3d libraries", and the list
+begins "destroyCallback ancestorSensitive x y width height borderWidth
+sensitive screen depth colormap background (...)".
+"""
+
+
+def test_label_resource_count_and_listing(benchmark, wafe, echo_lines):
+    wafe.run_script("label l topLevel")
+
+    def query():
+        echo_lines.clear()
+        wafe.run_script("echo [getResourceList l retVal]")
+        return wafe.run_script("set retVal")
+
+    listing = benchmark(query)
+    names = listing.split()
+    print("\nLabel class reports %s resources" % echo_lines[0])
+    print("Resources: %s (...)" % " ".join(names[:12]))
+    assert echo_lines[0] == "42"
+    assert len(names) == 42
+    assert names[:12] == [
+        "destroyCallback", "ancestorSensitive", "x", "y", "width", "height",
+        "borderWidth", "sensitive", "screen", "depth", "colormap",
+        "background",
+    ]
+
+
+def test_resource_counts_across_classes(benchmark, wafe):
+    """The layering arithmetic: Core 18 + Simple 5 + ThreeD 9 + Label 10."""
+    wafe.run_script("label lab topLevel")
+    wafe.run_script("command cmd topLevel")
+    wafe.run_script("toggle tog topLevel")
+
+    def counts():
+        return {
+            name: int(wafe.run_script(
+                "getResourceList %s v" % name))
+            for name in ("lab", "cmd", "tog")
+        }
+
+    result = benchmark(counts)
+    print("\nresource counts: Label=%(lab)d Command=%(cmd)d Toggle=%(tog)d"
+          % result)
+    assert result["lab"] == 42
+    assert result["cmd"] == result["lab"] + 4     # Command adds 4
+    assert result["tog"] == result["cmd"] + 3     # Toggle adds 3

@@ -1,0 +1,64 @@
+"""Rapid-prototyping claim: "Wafe can be used as a rapid prototyping
+tool ... the user interface can be developed mostly independent from
+the application program".
+
+What makes prototyping *rapid* is turnaround: frontend construction
+time, script-to-pixels time for a complete UI, and the cost of
+swapping a widget set (the codegen "relink").
+"""
+
+from repro.xlib import close_all_displays
+from repro.core import make_wafe
+
+PROTOTYPE = (
+    "form f topLevel\n"
+    "label title f label {Prototype} borderWidth 0\n"
+    "asciiText input f editType edit width 200 fromVert title\n"
+    "list choices f list {alpha beta gamma delta} fromVert input\n"
+    "command ok f fromVert choices label OK callback {echo ok}\n"
+    "command cancel f fromVert choices fromHoriz ok label Cancel\n"
+    "scrollbar s f fromHoriz cancel\n"
+    "realize\n"
+)
+
+
+def test_frontend_construction_time(benchmark):
+    def construct():
+        close_all_displays()
+        return make_wafe()
+
+    wafe = benchmark(construct)
+    assert "label" in wafe.interp.commands
+    mean_ms = benchmark.stats["mean"] * 1000
+    print("\nfrontend construction: %.1f ms" % mean_ms)
+
+
+def test_script_to_pixels_time(benchmark):
+    """A complete 7-widget UI from source to realized windows."""
+
+    def build():
+        close_all_displays()
+        wafe = make_wafe()
+        wafe.run_script(PROTOTYPE)
+        return wafe
+
+    wafe = benchmark(build)
+    assert wafe.lookup_widget("ok").window.viewable()
+    mean_ms = benchmark.stats["mean"] * 1000
+    print("\nscript-to-pixels for a 7-widget UI: %.1f ms" % mean_ms)
+    assert mean_ms < 1000  # interactive-speed prototyping
+
+
+def test_widget_set_swap_time(benchmark):
+    """Swapping to the Motif build = regenerating its command table."""
+
+    def swap():
+        close_all_displays()
+        athena = make_wafe()
+        motif = make_wafe(build="motif")
+        return athena, motif
+
+    athena, motif = benchmark(swap)
+    assert "label" in athena.interp.commands
+    assert "mLabel" in motif.interp.commands
+    assert "mLabel" not in athena.interp.commands

@@ -1,0 +1,87 @@
+"""Ablation -- the paper's own caveat about the string-only data model:
+
+"The string representation of all data types is a disadvantage, when
+repetitious calculations have to be made in Tcl."
+
+Quantified: the same computation (summing, prime-testing) in Tcl versus
+Python, and the paper's recommended remedy -- keep the computation in
+the backend process and let Tcl only drive the GUI.
+"""
+
+import time
+
+
+def _tcl_sum(wafe, n):
+    return wafe.run_script(
+        "set s 0\nfor {set i 0} {$i < %d} {incr i} {incr s $i}\nset s" % n)
+
+
+def test_tcl_vs_python_loop(benchmark, wafe):
+    n = 2000
+
+    tcl_result = benchmark(_tcl_sum, wafe, n)
+    start = time.perf_counter()
+    python_result = sum(range(n))
+    python_s = max(time.perf_counter() - start, 1e-9)
+    tcl_s = benchmark.stats["mean"]
+    print("\nsumming 0..%d:" % (n - 1))
+    print("  Tcl    : %10.3f ms" % (tcl_s * 1000))
+    print("  Python : %10.3f ms (%.0fx faster)"
+          % (python_s * 1000, tcl_s / python_s))
+    assert tcl_result == str(python_result)
+    assert tcl_s > python_s  # the paper's caveat, confirmed
+
+
+def test_expr_string_roundtrip_cost(benchmark, wafe):
+    """Every expr operand goes str -> number -> str."""
+
+    def expr_chain():
+        return wafe.run_script("expr {(3.5 + 4.5) * [expr {2 + 2}]}")
+
+    assert benchmark(expr_chain) == "32.0"
+
+
+def test_parse_cache_ablation(benchmark, wafe):
+    """Design decision: Wafe caches parsed scripts because callbacks are
+    the same Tcl strings evaluated on every event.  Measured: the same
+    callback body with and without the cache."""
+    script = 'set t [expr {1 + 2 * 3}]; if {$t == 7} {set ok 1}'
+    wafe.run_script(script)  # warm
+
+    def cached():
+        for __ in range(50):
+            wafe.run_script(script)
+
+    benchmark(cached)
+    cached_s = benchmark.stats["mean"]
+
+    import time as _time
+
+    start = _time.perf_counter()
+    for __ in range(50):
+        wafe.interp.parse_cache.clear()
+        wafe.run_script(script)
+    uncached_s = _time.perf_counter() - start
+    print("\n50 evaluations of a callback-sized script:")
+    print("  with parse cache   : %8.3f ms" % (cached_s * 1000))
+    print("  cache cleared each : %8.3f ms (%.1fx slower)"
+          % (uncached_s * 1000, uncached_s / cached_s))
+    assert uncached_s > cached_s
+
+
+def test_remedy_backend_computation(benchmark, wafe):
+    """The paper's fix: computation lives in the application process;
+    Tcl only receives the result string (one sV per update)."""
+    wafe.run_script("label out topLevel label 0")
+    wafe.run_script("realize")
+    n = 2000
+
+    def backend_style():
+        result = sum(range(n))           # "backend" computes natively
+        wafe.run_script("sV out label %d" % result)
+        return wafe.run_script("gV out label")
+
+    value = benchmark(backend_style)
+    assert value == str(sum(range(n)))
+    print("\nbackend-computes + one sV: %.3f ms vs Tcl loop above"
+          % (benchmark.stats["mean"] * 1000))

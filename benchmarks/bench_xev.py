@@ -1,0 +1,50 @@
+"""E2 -- the xev translation example, byte-exact, plus typing throughput.
+
+Typing "w!" on the label bound with
+``{<KeyPress>: exec(echo %k %a %s)}`` must print::
+
+    198 w w
+    174 Shift_L
+    197 ! exclam
+"""
+
+EXPECTED = ["198 w w", "174 Shift_L", "197 ! exclam"]
+
+
+def test_xev_exact_output(benchmark, wafe, echo_lines):
+    wafe.run_script("label xev topLevel")
+    wafe.run_script("action xev override {<KeyPress>: exec(echo %k %a %s)}")
+    wafe.run_script("realize")
+    xev = wafe.lookup_widget("xev")
+    display = wafe.app.default_display
+
+    def type_w_bang():
+        echo_lines.clear()
+        display.type_string(xev.window, "w!")
+        wafe.app.process_pending()
+        return list(echo_lines)
+
+    lines = benchmark(type_w_bang)
+    print("\ntyped 'w!' ->")
+    for line in lines:
+        print("  " + line)
+    assert lines == EXPECTED
+
+
+def test_keyboard_to_action_throughput(benchmark, wafe, echo_lines):
+    """Characters per benchmark round through the full key pipeline."""
+    wafe.run_script("label xev topLevel")
+    wafe.run_script("action xev override {<KeyPress>: exec(echo %k %a %s)}")
+    wafe.run_script("realize")
+    xev = wafe.lookup_widget("xev")
+    display = wafe.app.default_display
+    text = "the quick brown fox jumps over the lazy dog" * 3
+
+    def type_paragraph():
+        echo_lines.clear()
+        display.type_string(xev.window, text)
+        wafe.app.process_pending()
+        return len(echo_lines)
+
+    count = benchmark(type_paragraph)
+    assert count >= len(text)  # one echo per key press (plus shifts)

@@ -1,0 +1,66 @@
+"""F3 -- Figure 3: Motif compound strings.
+
+Runs the paper's mofe script (fontList with ft/bft tags, a label
+switching fonts mid-string and ending right-to-left), asserts the
+segmentation and the rendered differences, and times parse + render.
+"""
+
+from repro.motif import parse_font_list, parse_xmstring
+from repro.xlib.graphics import window_pixels
+
+PAPER_FONTLIST = "*b&h-lucida-medium-r*14*=ft,*b&h-lucida-bold-r*14*=bft"
+PAPER_LABEL = r"I'm\bft bold\ft and\rl strange"
+
+
+def test_figure3_script(benchmark, mofe):
+    def build():
+        if "l" in mofe.widgets:
+            mofe.run_script("destroyWidget l")
+        mofe.run_script(
+            "mLabel l topLevel "
+            'fontList "%s" '
+            "labelString {%s}" % (PAPER_FONTLIST, PAPER_LABEL))
+        mofe.run_script("realize")
+        mofe.lookup_widget("l").redraw()
+        return mofe.lookup_widget("l").compound_string()
+
+    xmstring = benchmark(build)
+    print("\nsegments:", [(s.tag, s.direction, s.text)
+                          for s in xmstring.segments])
+    assert [s.tag for s in xmstring.segments] == ["ft", "bft", "ft", "ft"]
+    assert xmstring.segments[3].direction == "rl"
+    assert xmstring.plain_text() == "I'm bold and strange"
+
+
+def test_parse_throughput(benchmark):
+    font_list = parse_font_list(PAPER_FONTLIST)
+
+    def parse_many():
+        for __ in range(100):
+            parse_xmstring(PAPER_LABEL, font_list)
+        return parse_xmstring(PAPER_LABEL, font_list)
+
+    xmstring = benchmark(parse_many)
+    assert len(xmstring.segments) == 4
+
+
+def test_bold_and_direction_change_rendering(benchmark, mofe):
+    """Font tags and direction visibly change the painted pixels."""
+    mofe.run_script('mLabel a topLevel fontList "%s" '
+                    "labelString {same text} width 200 height 30"
+                    % PAPER_FONTLIST)
+    mofe.run_script("realize")
+    label = mofe.lookup_widget("a")
+
+    def render(label_string):
+        mofe.run_script("sV a labelString {%s}" % label_string)
+        label.redraw()
+        return window_pixels(label.window).copy()
+
+    plain = render("same text")
+    bold = render(r"\bftsame text")
+    rtl = render(r"\rlsame text")
+    benchmark(render, "same text")
+    assert (plain != bold).any()
+    assert (plain != rtl).any()
+    print("\nplain/bold/rtl renderings all differ, as in Figure 3")

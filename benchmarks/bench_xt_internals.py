@@ -1,0 +1,82 @@
+"""Ablation -- the Xt machinery Wafe's commands stand on.
+
+Micro-benchmarks of the three mechanisms every interaction crosses:
+Xrm database lookup (every resource of every widget creation),
+translation-table parsing (every ``action`` command), and stateful
+event matching (every input event).  These quantify why Wafe caches
+parsed translations and why resource files stay small.
+"""
+
+from repro.xlib import xtypes
+from repro.xlib.events import XEvent
+from repro.xt.translations import parse_translation_table
+from repro.xt.xrm import XrmDatabase
+
+
+def _loaded_database(entries=60):
+    db = XrmDatabase()
+    for i in range(entries):
+        db.put("*class%d.resource%d" % (i % 7, i), "value%d" % i)
+    db.put("*Command.background", "gray")
+    db.put("wafe*form.quit.label", "Quit")
+    return db
+
+
+def test_xrm_query_cost(benchmark):
+    db = _loaded_database()
+    names = ["wafe", "form", "quit", "label"]
+    classes = ["Wafe", "Form", "Command", "Label"]
+
+    result = benchmark(db.query, names, classes)
+    assert result == "Quit"
+
+
+def test_xrm_wildcard_query_cost(benchmark):
+    db = _loaded_database()
+    names = ["wafe", "outer", "inner", "deep", "quit", "background"]
+    classes = ["Wafe", "Form", "Form", "Box", "Command", "Background"]
+
+    result = benchmark(db.query, names, classes)
+    assert result == "gray"
+
+
+def test_translation_parse_cost(benchmark):
+    text = (
+        "<EnterWindow>: highlight()\n"
+        "<LeaveWindow>: reset()\n"
+        "<Btn1Down>: set()\n"
+        "<Btn1Up>: notify() unset()\n"
+        "Shift<Key>Return: exec(echo shifted [gV input string])\n"
+        "<Btn1Down>,<Btn1Up>: click()\n"
+    )
+    table = benchmark(parse_translation_table, text)
+    assert len(table) == 6
+
+
+def test_event_match_cost(benchmark):
+    table = parse_translation_table(
+        "<Key>a: one()\n<Key>b: two()\n<Btn1Down>: three()\n"
+        "<Btn1Down>,<Btn1Up>: four()\n")
+    event = XEvent(xtypes.ButtonPress, None, button=1)
+    progress = {}
+
+    actions = benchmark(table.lookup_stateful, event, progress)
+    assert actions == [("three", [])]
+
+
+def test_widget_creation_resource_resolution(benchmark, wafe):
+    """Creating a widget resolves all 42+ resources against the db."""
+    wafe.app.merge_resources("*Label.foreground: navy\n"
+                             "*background: gray90\n")
+    counter = [0]
+
+    def create():
+        counter[0] += 1
+        name = "l%d" % counter[0]
+        wafe.run_script("label %s topLevel -unmanaged" % name)
+        return wafe.lookup_widget(name)
+
+    widget = benchmark(create)
+    from repro.xlib.colors import alloc_color
+
+    assert widget["foreground"] == alloc_color("navy")

@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one table, figure, or experience claim from the
+paper (the index lives in DESIGN.md / EXPERIMENTS.md).  Absolute
+numbers are ours -- the substrate is a simulator, not a DECstation --
+but each bench asserts the *shape* the paper reports and prints the
+rows it regenerates.
+"""
+
+import pytest
+
+from repro.core import make_wafe
+from repro.xlib import close_all_displays
+
+
+@pytest.fixture
+def wafe():
+    close_all_displays()
+    return make_wafe()
+
+
+@pytest.fixture
+def mofe():
+    close_all_displays()
+    return make_wafe(build="motif")
+
+
+@pytest.fixture
+def echo_lines(wafe):
+    lines = []
+    wafe.interp.write_output = lambda text: lines.append(text.rstrip("\n"))
+    return lines
+
+
+def click(wafe, widget_name):
+    widget = wafe.lookup_widget(widget_name)
+    x, y = widget.window.absolute_origin()
+    wafe.app.default_display.click(x + 2, y + 2)
+    wafe.app.process_pending()

@@ -1,0 +1,572 @@
+"""GENERATED CODE -- do not edit.
+
+Produced by repro.codegen from xt.spec + xaw.spec + plotter.spec; regenerate with
+``wafe-codegen``.  Each command follows the paper's conventions:
+argument conversion via the runtime helpers, native dispatch through
+the handwritten NATIVE table, Tcl-variable returns for list/struct
+results.
+"""
+
+from repro.core import runtime as rt
+from repro.core.natives import NATIVE
+from repro.tcl.errors import TclError
+
+def cmd_destroyWidget(wafe, argv):
+    """Destroy a widget and free its associated resources (generated from XtDestroyWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "destroyWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtDestroyWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_realizeWidget(wafe, argv):
+    """Realize a widget subtree (create its windows) (generated from XtRealizeWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "realizeWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtRealizeWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_unrealizeWidget(wafe, argv):
+    """Unrealize a widget subtree (generated from XtUnrealizeWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "unrealizeWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtUnrealizeWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_manageChild(wafe, argv):
+    """Manage a child (give it to the geometry manager) (generated from XtManageChild)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "manageChild widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtManageChild"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_unmanageChild(wafe, argv):
+    """Unmanage a child (generated from XtUnmanageChild)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "unmanageChild widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtUnmanageChild"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_mapWidget(wafe, argv):
+    """Map a realized widget's window (generated from XtMapWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "mapWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtMapWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_unmapWidget(wafe, argv):
+    """Unmap a widget's window (generated from XtUnmapWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "unmapWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtUnmapWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_setSensitive(wafe, argv):
+    """Set the sensitivity state of a widget (generated from XtSetSensitive)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "setSensitive widget boolean"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_boolean(argv[2])
+    ret = NATIVE["XtSetSensitive"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_isSensitive(wafe, argv):
+    """Query the (effective) sensitivity of a widget (generated from XtIsSensitive)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "isSensitive widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtIsSensitive"](wafe, arg1)
+    return rt.from_boolean(ret)
+
+def cmd_isRealized(wafe, argv):
+    """Is the widget realized? (generated from XtIsRealized)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "isRealized widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtIsRealized"](wafe, arg1)
+    return rt.from_boolean(ret)
+
+def cmd_isManaged(wafe, argv):
+    """Is the widget managed? (generated from XtIsManaged)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "isManaged widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtIsManaged"](wafe, arg1)
+    return rt.from_boolean(ret)
+
+def cmd_popup(wafe, argv):
+    """Pop up a shell with a grab kind (none, nonexclusive, exclusive) (generated from XtPopup)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "popup widget grabKind"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_grab_kind(argv[2])
+    ret = NATIVE["XtPopup"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_popdown(wafe, argv):
+    """Pop down a shell (generated from XtPopdown)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "popdown widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtPopdown"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_moveWidget(wafe, argv):
+    """Move a widget to an x/y position (generated from XtMoveWidget)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "moveWidget widget position position"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    arg3 = rt.to_int(argv[3])
+    ret = NATIVE["XtMoveWidget"](wafe, arg1, arg2, arg3)
+    return rt.from_void(ret)
+
+def cmd_resizeWidget(wafe, argv):
+    """Resize a widget (generated from XtResizeWidget)."""
+    if len(argv) != 5:
+        raise TclError('wrong # args: should be "resizeWidget widget dimension dimension dimension"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    arg3 = rt.to_int(argv[3])
+    arg4 = rt.to_int(argv[4])
+    ret = NATIVE["XtResizeWidget"](wafe, arg1, arg2, arg3, arg4)
+    return rt.from_void(ret)
+
+def cmd_getResourceList(wafe, argv):
+    """Resource names of a widget's class; returns the count, fills varName (generated from XtGetResourceList)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "getResourceList widget varName"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret, out2 = NATIVE["XtGetResourceList"](wafe, arg1)
+    rt.set_list_var(wafe, argv[2], out2)
+    if ret is None:
+        ret = len(out2)
+    return rt.from_int(ret)
+
+def cmd_parent(wafe, argv):
+    """The parent widget's name (generated from XtParent)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "parent widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtParent"](wafe, arg1)
+    return rt.from_widget(ret)
+
+def cmd_nameToWidget(wafe, argv):
+    """Resolve a widget by pathname relative to a reference widget (generated from XtNameToWidget)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "nameToWidget widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtNameToWidget"](wafe, arg1, arg2)
+    return rt.from_widget(ret)
+
+def cmd_name(wafe, argv):
+    """The widget's name (generated from XtName)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "name widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtName"](wafe, arg1)
+    return rt.from_string(ret)
+
+def cmd_bell(wafe, argv):
+    """Ring the display bell (generated from XtBell)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "bell widget int"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    ret = NATIVE["XtBell"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_addTimeOut(wafe, argv):
+    """Register a Tcl script to run after a timeout (milliseconds) (generated from XtAddTimeOut)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "addTimeOut int script"')
+    arg1 = rt.to_int(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtAddTimeOut"](wafe, arg1, arg2)
+    return rt.from_int(ret)
+
+def cmd_removeTimeOut(wafe, argv):
+    """Remove a pending timeout by id (generated from XtRemoveTimeOut)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "removeTimeOut int"')
+    arg1 = rt.to_int(argv[1])
+    ret = NATIVE["XtRemoveTimeOut"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_addWorkProc(wafe, argv):
+    """Register a Tcl script to run when the main loop is idle (generated from XtAddWorkProc)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "addWorkProc script"')
+    arg1 = argv[1]
+    ret = NATIVE["XtAddWorkProc"](wafe, arg1)
+    return rt.from_int(ret)
+
+def cmd_ownSelection(wafe, argv):
+    """Own a selection; the script converts it on request (generated from XtOwnSelection)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "ownSelection widget string script"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    arg3 = argv[3]
+    ret = NATIVE["XtOwnSelection"](wafe, arg1, arg2, arg3)
+    return rt.from_boolean(ret)
+
+def cmd_disownSelection(wafe, argv):
+    """Give up a selection (generated from XtDisownSelection)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "disownSelection widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtDisownSelection"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_getSelectionValue(wafe, argv):
+    """Retrieve a selection value (synchronously in the simulation) (generated from XtGetSelectionValue)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "getSelectionValue widget string string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    arg3 = argv[3]
+    ret = NATIVE["XtGetSelectionValue"](wafe, arg1, arg2, arg3)
+    return rt.from_string(ret)
+
+def cmd_installAccelerators(wafe, argv):
+    """Install a widget's accelerators onto a destination widget (generated from XtInstallAccelerators)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "installAccelerators widget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = wafe.lookup_widget(argv[2])
+    ret = NATIVE["XtInstallAccelerators"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_installAllAccelerators(wafe, argv):
+    """Install accelerators from a whole subtree onto a destination widget (generated from XtInstallAllAccelerators)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "installAllAccelerators widget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = wafe.lookup_widget(argv[2])
+    ret = NATIVE["XtInstallAllAccelerators"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_overrideTranslations(wafe, argv):
+    """Install translations, replacing existing ones (generated from XtOverrideTranslations)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "overrideTranslations widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtOverrideTranslations"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_augmentTranslations(wafe, argv):
+    """Merge translations, keeping existing bindings (generated from XtAugmentTranslations)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "augmentTranslations widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtAugmentTranslations"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_label(wafe, argv):
+    """Create a managed Label widget (generated)."""
+    return wafe.create_widget("Label", argv)
+
+def cmd_command(wafe, argv):
+    """Create a managed Command widget (generated)."""
+    return wafe.create_widget("Command", argv)
+
+def cmd_toggle(wafe, argv):
+    """Create a managed Toggle widget (generated)."""
+    return wafe.create_widget("Toggle", argv)
+
+def cmd_menuButton(wafe, argv):
+    """Create a managed MenuButton widget (generated)."""
+    return wafe.create_widget("MenuButton", argv)
+
+def cmd_form(wafe, argv):
+    """Create a managed Form widget (generated)."""
+    return wafe.create_widget("Form", argv)
+
+def cmd_box(wafe, argv):
+    """Create a managed Box widget (generated)."""
+    return wafe.create_widget("Box", argv)
+
+def cmd_paned(wafe, argv):
+    """Create a managed Paned widget (generated)."""
+    return wafe.create_widget("Paned", argv)
+
+def cmd_grip(wafe, argv):
+    """Create a managed Grip widget (generated)."""
+    return wafe.create_widget("Grip", argv)
+
+def cmd_viewport(wafe, argv):
+    """Create a managed Viewport widget (generated)."""
+    return wafe.create_widget("Viewport", argv)
+
+def cmd_dialog(wafe, argv):
+    """Create a managed Dialog widget (generated)."""
+    return wafe.create_widget("Dialog", argv)
+
+def cmd_list(wafe, argv):
+    """Create a managed List widget (generated)."""
+    return wafe.create_widget("List", argv)
+
+def cmd_asciiText(wafe, argv):
+    """Create a managed AsciiText widget (generated)."""
+    return wafe.create_widget("AsciiText", argv)
+
+def cmd_scrollbar(wafe, argv):
+    """Create a managed Scrollbar widget (generated)."""
+    return wafe.create_widget("Scrollbar", argv)
+
+def cmd_stripChart(wafe, argv):
+    """Create a managed StripChart widget (generated)."""
+    return wafe.create_widget("StripChart", argv)
+
+def cmd_simpleMenu(wafe, argv):
+    """Create a managed SimpleMenu widget (generated)."""
+    return wafe.create_widget("SimpleMenu", argv)
+
+def cmd_sme(wafe, argv):
+    """Create a managed Sme widget (generated)."""
+    return wafe.create_widget("Sme", argv)
+
+def cmd_smeBSB(wafe, argv):
+    """Create a managed SmeBSB widget (generated)."""
+    return wafe.create_widget("SmeBSB", argv)
+
+def cmd_smeLine(wafe, argv):
+    """Create a managed SmeLine widget (generated)."""
+    return wafe.create_widget("SmeLine", argv)
+
+def cmd_formAllowResize(wafe, argv):
+    """Allow or forbid geometry requests from a Form child (generated from XawFormAllowResize)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "formAllowResize widget boolean"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_boolean(argv[2])
+    ret = NATIVE["XawFormAllowResize"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_listChange(wafe, argv):
+    """Replace the item list of a List widget (generated from XawListChange)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "listChange widget list boolean"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_list(argv[2])
+    arg3 = rt.to_boolean(argv[3])
+    ret = NATIVE["XawListChange"](wafe, arg1, arg2, arg3)
+    return rt.from_void(ret)
+
+def cmd_listHighlight(wafe, argv):
+    """Highlight a List item by index (generated from XawListHighlight)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "listHighlight widget int"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    ret = NATIVE["XawListHighlight"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_listUnhighlight(wafe, argv):
+    """Remove the highlight from a List widget (generated from XawListUnhighlight)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "listUnhighlight widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XawListUnhighlight"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_listShowCurrent(wafe, argv):
+    """Current List selection into an array (index, string); returns index (generated from XawListShowCurrent)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "listShowCurrent widget varName"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret, out2 = NATIVE["XawListShowCurrent"](wafe, arg1)
+    rt.set_struct_var(wafe, argv[2], out2, ['index', 'string'])
+    if ret is None:
+        ret = len(out2)
+    return rt.from_int(ret)
+
+def cmd_textSetInsertionPoint(wafe, argv):
+    """Move the text insertion point (generated from XawTextSetInsertionPoint)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "textSetInsertionPoint widget int"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    ret = NATIVE["XawTextSetInsertionPoint"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_textGetInsertionPoint(wafe, argv):
+    """Query the text insertion point (generated from XawTextGetInsertionPoint)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "textGetInsertionPoint widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XawTextGetInsertionPoint"](wafe, arg1)
+    return rt.from_int(ret)
+
+def cmd_textReplace(wafe, argv):
+    """Replace the characters between two positions with new text (generated from XawTextReplace)."""
+    if len(argv) != 5:
+        raise TclError('wrong # args: should be "textReplace widget int int string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    arg3 = rt.to_int(argv[3])
+    arg4 = argv[4]
+    ret = NATIVE["XawTextReplace"](wafe, arg1, arg2, arg3, arg4)
+    return rt.from_void(ret)
+
+def cmd_textSetSelection(wafe, argv):
+    """Select a range of text (and own the PRIMARY selection) (generated from XawTextSetSelection)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "textSetSelection widget int int"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    arg3 = rt.to_int(argv[3])
+    ret = NATIVE["XawTextSetSelection"](wafe, arg1, arg2, arg3)
+    return rt.from_void(ret)
+
+def cmd_textGetSelection(wafe, argv):
+    """The currently selected text of a text widget (generated from XawTextGetSelection)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "textGetSelection widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XawTextGetSelection"](wafe, arg1)
+    return rt.from_string(ret)
+
+def cmd_scrollbarSetThumb(wafe, argv):
+    """Set a scrollbar's thumb (top and shown fractions) (generated from XawScrollbarSetThumb)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "scrollbarSetThumb widget float float"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_float(argv[2])
+    arg3 = rt.to_float(argv[3])
+    ret = NATIVE["XawScrollbarSetThumb"](wafe, arg1, arg2, arg3)
+    return rt.from_void(ret)
+
+def cmd_stripChartSample(wafe, argv):
+    """Pull one sample into a StripChart immediately (generated from XawStripChartSample)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "stripChartSample widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XawStripChartSample"](wafe, arg1)
+    return rt.from_float(ret)
+
+def cmd_viewportSetCoordinates(wafe, argv):
+    """Scroll a Viewport to a vertical pixel offset (generated from XawViewportSetCoordinates)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "viewportSetCoordinates widget int int"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    arg3 = rt.to_int(argv[3])
+    ret = NATIVE["XawViewportSetCoordinates"](wafe, arg1, arg2, arg3)
+    return rt.from_void(ret)
+
+def cmd_dialogGetValueString(wafe, argv):
+    """The Dialog convenience accessor: current value string (generated from XawDialogGetValueString)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "dialogGetValueString widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XawDialogGetValueString"](wafe, arg1)
+    return rt.from_string(ret)
+
+def cmd_barGraph(wafe, argv):
+    """Create a managed BarGraph widget (generated)."""
+    return wafe.create_widget("BarGraph", argv)
+
+def cmd_lineGraph(wafe, argv):
+    """Create a managed LineGraph widget (generated)."""
+    return wafe.create_widget("LineGraph", argv)
+
+def cmd_plotterSetData(wafe, argv):
+    """Replace the data series of a plotter widget (generated from PlotterSetData)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "plotterSetData widget list"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_list(argv[2])
+    ret = NATIVE["PlotterSetData"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_plotterBarHeights(wafe, argv):
+    """Painted bar heights in pixels (for inspection); fills varName (generated from PlotterBarHeights)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "plotterBarHeights widget varName"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret, out2 = NATIVE["PlotterBarHeights"](wafe, arg1)
+    rt.set_list_var(wafe, argv[2], out2)
+    if ret is None:
+        ret = len(out2)
+    return rt.from_int(ret)
+
+COMMANDS = [
+    ("destroyWidget", cmd_destroyWidget),
+    ("realizeWidget", cmd_realizeWidget),
+    ("unrealizeWidget", cmd_unrealizeWidget),
+    ("manageChild", cmd_manageChild),
+    ("unmanageChild", cmd_unmanageChild),
+    ("mapWidget", cmd_mapWidget),
+    ("unmapWidget", cmd_unmapWidget),
+    ("setSensitive", cmd_setSensitive),
+    ("isSensitive", cmd_isSensitive),
+    ("isRealized", cmd_isRealized),
+    ("isManaged", cmd_isManaged),
+    ("popup", cmd_popup),
+    ("popdown", cmd_popdown),
+    ("moveWidget", cmd_moveWidget),
+    ("resizeWidget", cmd_resizeWidget),
+    ("getResourceList", cmd_getResourceList),
+    ("parent", cmd_parent),
+    ("nameToWidget", cmd_nameToWidget),
+    ("name", cmd_name),
+    ("bell", cmd_bell),
+    ("addTimeOut", cmd_addTimeOut),
+    ("removeTimeOut", cmd_removeTimeOut),
+    ("addWorkProc", cmd_addWorkProc),
+    ("ownSelection", cmd_ownSelection),
+    ("disownSelection", cmd_disownSelection),
+    ("getSelectionValue", cmd_getSelectionValue),
+    ("installAccelerators", cmd_installAccelerators),
+    ("installAllAccelerators", cmd_installAllAccelerators),
+    ("overrideTranslations", cmd_overrideTranslations),
+    ("augmentTranslations", cmd_augmentTranslations),
+    ("label", cmd_label),
+    ("command", cmd_command),
+    ("toggle", cmd_toggle),
+    ("menuButton", cmd_menuButton),
+    ("form", cmd_form),
+    ("box", cmd_box),
+    ("paned", cmd_paned),
+    ("grip", cmd_grip),
+    ("viewport", cmd_viewport),
+    ("dialog", cmd_dialog),
+    ("list", cmd_list),
+    ("asciiText", cmd_asciiText),
+    ("scrollbar", cmd_scrollbar),
+    ("stripChart", cmd_stripChart),
+    ("simpleMenu", cmd_simpleMenu),
+    ("sme", cmd_sme),
+    ("smeBSB", cmd_smeBSB),
+    ("smeLine", cmd_smeLine),
+    ("formAllowResize", cmd_formAllowResize),
+    ("listChange", cmd_listChange),
+    ("listHighlight", cmd_listHighlight),
+    ("listUnhighlight", cmd_listUnhighlight),
+    ("listShowCurrent", cmd_listShowCurrent),
+    ("textSetInsertionPoint", cmd_textSetInsertionPoint),
+    ("textGetInsertionPoint", cmd_textGetInsertionPoint),
+    ("textReplace", cmd_textReplace),
+    ("textSetSelection", cmd_textSetSelection),
+    ("textGetSelection", cmd_textGetSelection),
+    ("scrollbarSetThumb", cmd_scrollbarSetThumb),
+    ("stripChartSample", cmd_stripChartSample),
+    ("viewportSetCoordinates", cmd_viewportSetCoordinates),
+    ("dialogGetValueString", cmd_dialogGetValueString),
+    ("barGraph", cmd_barGraph),
+    ("lineGraph", cmd_lineGraph),
+    ("plotterSetData", cmd_plotterSetData),
+    ("plotterBarHeights", cmd_plotterBarHeights),
+]

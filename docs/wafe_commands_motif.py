@@ -1,0 +1,425 @@
+"""GENERATED CODE -- do not edit.
+
+Produced by repro.codegen from xt.spec + motif.spec; regenerate with
+``wafe-codegen``.  Each command follows the paper's conventions:
+argument conversion via the runtime helpers, native dispatch through
+the handwritten NATIVE table, Tcl-variable returns for list/struct
+results.
+"""
+
+from repro.core import runtime as rt
+from repro.core.natives import NATIVE
+from repro.tcl.errors import TclError
+
+def cmd_destroyWidget(wafe, argv):
+    """Destroy a widget and free its associated resources (generated from XtDestroyWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "destroyWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtDestroyWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_realizeWidget(wafe, argv):
+    """Realize a widget subtree (create its windows) (generated from XtRealizeWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "realizeWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtRealizeWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_unrealizeWidget(wafe, argv):
+    """Unrealize a widget subtree (generated from XtUnrealizeWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "unrealizeWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtUnrealizeWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_manageChild(wafe, argv):
+    """Manage a child (give it to the geometry manager) (generated from XtManageChild)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "manageChild widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtManageChild"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_unmanageChild(wafe, argv):
+    """Unmanage a child (generated from XtUnmanageChild)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "unmanageChild widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtUnmanageChild"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_mapWidget(wafe, argv):
+    """Map a realized widget's window (generated from XtMapWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "mapWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtMapWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_unmapWidget(wafe, argv):
+    """Unmap a widget's window (generated from XtUnmapWidget)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "unmapWidget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtUnmapWidget"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_setSensitive(wafe, argv):
+    """Set the sensitivity state of a widget (generated from XtSetSensitive)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "setSensitive widget boolean"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_boolean(argv[2])
+    ret = NATIVE["XtSetSensitive"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_isSensitive(wafe, argv):
+    """Query the (effective) sensitivity of a widget (generated from XtIsSensitive)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "isSensitive widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtIsSensitive"](wafe, arg1)
+    return rt.from_boolean(ret)
+
+def cmd_isRealized(wafe, argv):
+    """Is the widget realized? (generated from XtIsRealized)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "isRealized widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtIsRealized"](wafe, arg1)
+    return rt.from_boolean(ret)
+
+def cmd_isManaged(wafe, argv):
+    """Is the widget managed? (generated from XtIsManaged)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "isManaged widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtIsManaged"](wafe, arg1)
+    return rt.from_boolean(ret)
+
+def cmd_popup(wafe, argv):
+    """Pop up a shell with a grab kind (none, nonexclusive, exclusive) (generated from XtPopup)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "popup widget grabKind"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_grab_kind(argv[2])
+    ret = NATIVE["XtPopup"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_popdown(wafe, argv):
+    """Pop down a shell (generated from XtPopdown)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "popdown widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtPopdown"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_moveWidget(wafe, argv):
+    """Move a widget to an x/y position (generated from XtMoveWidget)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "moveWidget widget position position"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    arg3 = rt.to_int(argv[3])
+    ret = NATIVE["XtMoveWidget"](wafe, arg1, arg2, arg3)
+    return rt.from_void(ret)
+
+def cmd_resizeWidget(wafe, argv):
+    """Resize a widget (generated from XtResizeWidget)."""
+    if len(argv) != 5:
+        raise TclError('wrong # args: should be "resizeWidget widget dimension dimension dimension"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    arg3 = rt.to_int(argv[3])
+    arg4 = rt.to_int(argv[4])
+    ret = NATIVE["XtResizeWidget"](wafe, arg1, arg2, arg3, arg4)
+    return rt.from_void(ret)
+
+def cmd_getResourceList(wafe, argv):
+    """Resource names of a widget's class; returns the count, fills varName (generated from XtGetResourceList)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "getResourceList widget varName"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret, out2 = NATIVE["XtGetResourceList"](wafe, arg1)
+    rt.set_list_var(wafe, argv[2], out2)
+    if ret is None:
+        ret = len(out2)
+    return rt.from_int(ret)
+
+def cmd_parent(wafe, argv):
+    """The parent widget's name (generated from XtParent)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "parent widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtParent"](wafe, arg1)
+    return rt.from_widget(ret)
+
+def cmd_nameToWidget(wafe, argv):
+    """Resolve a widget by pathname relative to a reference widget (generated from XtNameToWidget)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "nameToWidget widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtNameToWidget"](wafe, arg1, arg2)
+    return rt.from_widget(ret)
+
+def cmd_name(wafe, argv):
+    """The widget's name (generated from XtName)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "name widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XtName"](wafe, arg1)
+    return rt.from_string(ret)
+
+def cmd_bell(wafe, argv):
+    """Ring the display bell (generated from XtBell)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "bell widget int"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_int(argv[2])
+    ret = NATIVE["XtBell"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_addTimeOut(wafe, argv):
+    """Register a Tcl script to run after a timeout (milliseconds) (generated from XtAddTimeOut)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "addTimeOut int script"')
+    arg1 = rt.to_int(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtAddTimeOut"](wafe, arg1, arg2)
+    return rt.from_int(ret)
+
+def cmd_removeTimeOut(wafe, argv):
+    """Remove a pending timeout by id (generated from XtRemoveTimeOut)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "removeTimeOut int"')
+    arg1 = rt.to_int(argv[1])
+    ret = NATIVE["XtRemoveTimeOut"](wafe, arg1)
+    return rt.from_void(ret)
+
+def cmd_addWorkProc(wafe, argv):
+    """Register a Tcl script to run when the main loop is idle (generated from XtAddWorkProc)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "addWorkProc script"')
+    arg1 = argv[1]
+    ret = NATIVE["XtAddWorkProc"](wafe, arg1)
+    return rt.from_int(ret)
+
+def cmd_ownSelection(wafe, argv):
+    """Own a selection; the script converts it on request (generated from XtOwnSelection)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "ownSelection widget string script"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    arg3 = argv[3]
+    ret = NATIVE["XtOwnSelection"](wafe, arg1, arg2, arg3)
+    return rt.from_boolean(ret)
+
+def cmd_disownSelection(wafe, argv):
+    """Give up a selection (generated from XtDisownSelection)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "disownSelection widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtDisownSelection"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_getSelectionValue(wafe, argv):
+    """Retrieve a selection value (synchronously in the simulation) (generated from XtGetSelectionValue)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "getSelectionValue widget string string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    arg3 = argv[3]
+    ret = NATIVE["XtGetSelectionValue"](wafe, arg1, arg2, arg3)
+    return rt.from_string(ret)
+
+def cmd_installAccelerators(wafe, argv):
+    """Install a widget's accelerators onto a destination widget (generated from XtInstallAccelerators)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "installAccelerators widget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = wafe.lookup_widget(argv[2])
+    ret = NATIVE["XtInstallAccelerators"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_installAllAccelerators(wafe, argv):
+    """Install accelerators from a whole subtree onto a destination widget (generated from XtInstallAllAccelerators)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "installAllAccelerators widget widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = wafe.lookup_widget(argv[2])
+    ret = NATIVE["XtInstallAllAccelerators"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_overrideTranslations(wafe, argv):
+    """Install translations, replacing existing ones (generated from XtOverrideTranslations)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "overrideTranslations widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtOverrideTranslations"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_augmentTranslations(wafe, argv):
+    """Merge translations, keeping existing bindings (generated from XtAugmentTranslations)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "augmentTranslations widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XtAugmentTranslations"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_mLabel(wafe, argv):
+    """Create a managed XmLabel widget (generated)."""
+    return wafe.create_widget("XmLabel", argv)
+
+def cmd_mPushButton(wafe, argv):
+    """Create a managed XmPushButton widget (generated)."""
+    return wafe.create_widget("XmPushButton", argv)
+
+def cmd_mCascadeButton(wafe, argv):
+    """Create a managed XmCascadeButton widget (generated)."""
+    return wafe.create_widget("XmCascadeButton", argv)
+
+def cmd_mToggleButton(wafe, argv):
+    """Create a managed XmToggleButton widget (generated)."""
+    return wafe.create_widget("XmToggleButton", argv)
+
+def cmd_mText(wafe, argv):
+    """Create a managed XmText widget (generated)."""
+    return wafe.create_widget("XmText", argv)
+
+def cmd_mRowColumn(wafe, argv):
+    """Create a managed XmRowColumn widget (generated)."""
+    return wafe.create_widget("XmRowColumn", argv)
+
+def cmd_mSeparator(wafe, argv):
+    """Create a managed XmSeparator widget (generated)."""
+    return wafe.create_widget("XmSeparator", argv)
+
+def cmd_mCommand(wafe, argv):
+    """Create a managed XmCommand widget (generated)."""
+    return wafe.create_widget("XmCommand", argv)
+
+def cmd_mCascadeButtonHighlight(wafe, argv):
+    """Toggle the highlight state of a cascade button (the paper's example) (generated from XmCascadeButtonHighlight)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "mCascadeButtonHighlight widget boolean"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_boolean(argv[2])
+    ret = NATIVE["XmCascadeButtonHighlight"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_mCommandAppendValue(wafe, argv):
+    """Append text to the command line of an XmCommand box (generated from XmCommandAppendValue)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "mCommandAppendValue widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XmCommandAppendValue"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_mCommandSetValue(wafe, argv):
+    """Replace the command line of an XmCommand box (generated from XmCommandSetValue)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "mCommandSetValue widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XmCommandSetValue"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+def cmd_mCommandEnter(wafe, argv):
+    """Commit the command line to the history (generated from XmCommandEnter)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "mCommandEnter widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XmCommandEnter"](wafe, arg1)
+    return rt.from_string(ret)
+
+def cmd_mToggleButtonGetState(wafe, argv):
+    """Current state of a toggle button (generated from XmToggleButtonGetState)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "mToggleButtonGetState widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XmToggleButtonGetState"](wafe, arg1)
+    return rt.from_boolean(ret)
+
+def cmd_mToggleButtonSetState(wafe, argv):
+    """Set a toggle button's state; optionally notify callbacks (generated from XmToggleButtonSetState)."""
+    if len(argv) != 4:
+        raise TclError('wrong # args: should be "mToggleButtonSetState widget boolean boolean"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = rt.to_boolean(argv[2])
+    arg3 = rt.to_boolean(argv[3])
+    ret = NATIVE["XmToggleButtonSetState"](wafe, arg1, arg2, arg3)
+    return rt.from_void(ret)
+
+def cmd_mTextGetString(wafe, argv):
+    """Current contents of a text widget (generated from XmTextGetString)."""
+    if len(argv) != 2:
+        raise TclError('wrong # args: should be "mTextGetString widget"')
+    arg1 = wafe.lookup_widget(argv[1])
+    ret = NATIVE["XmTextGetString"](wafe, arg1)
+    return rt.from_string(ret)
+
+def cmd_mTextSetString(wafe, argv):
+    """Replace the contents of a text widget (generated from XmTextSetString)."""
+    if len(argv) != 3:
+        raise TclError('wrong # args: should be "mTextSetString widget string"')
+    arg1 = wafe.lookup_widget(argv[1])
+    arg2 = argv[2]
+    ret = NATIVE["XmTextSetString"](wafe, arg1, arg2)
+    return rt.from_void(ret)
+
+COMMANDS = [
+    ("destroyWidget", cmd_destroyWidget),
+    ("realizeWidget", cmd_realizeWidget),
+    ("unrealizeWidget", cmd_unrealizeWidget),
+    ("manageChild", cmd_manageChild),
+    ("unmanageChild", cmd_unmanageChild),
+    ("mapWidget", cmd_mapWidget),
+    ("unmapWidget", cmd_unmapWidget),
+    ("setSensitive", cmd_setSensitive),
+    ("isSensitive", cmd_isSensitive),
+    ("isRealized", cmd_isRealized),
+    ("isManaged", cmd_isManaged),
+    ("popup", cmd_popup),
+    ("popdown", cmd_popdown),
+    ("moveWidget", cmd_moveWidget),
+    ("resizeWidget", cmd_resizeWidget),
+    ("getResourceList", cmd_getResourceList),
+    ("parent", cmd_parent),
+    ("nameToWidget", cmd_nameToWidget),
+    ("name", cmd_name),
+    ("bell", cmd_bell),
+    ("addTimeOut", cmd_addTimeOut),
+    ("removeTimeOut", cmd_removeTimeOut),
+    ("addWorkProc", cmd_addWorkProc),
+    ("ownSelection", cmd_ownSelection),
+    ("disownSelection", cmd_disownSelection),
+    ("getSelectionValue", cmd_getSelectionValue),
+    ("installAccelerators", cmd_installAccelerators),
+    ("installAllAccelerators", cmd_installAllAccelerators),
+    ("overrideTranslations", cmd_overrideTranslations),
+    ("augmentTranslations", cmd_augmentTranslations),
+    ("mLabel", cmd_mLabel),
+    ("mPushButton", cmd_mPushButton),
+    ("mCascadeButton", cmd_mCascadeButton),
+    ("mToggleButton", cmd_mToggleButton),
+    ("mText", cmd_mText),
+    ("mRowColumn", cmd_mRowColumn),
+    ("mSeparator", cmd_mSeparator),
+    ("mCommand", cmd_mCommand),
+    ("mCascadeButtonHighlight", cmd_mCascadeButtonHighlight),
+    ("mCommandAppendValue", cmd_mCommandAppendValue),
+    ("mCommandSetValue", cmd_mCommandSetValue),
+    ("mCommandEnter", cmd_mCommandEnter),
+    ("mToggleButtonGetState", cmd_mToggleButtonGetState),
+    ("mToggleButtonSetState", cmd_mToggleButtonSetState),
+    ("mTextGetString", cmd_mTextGetString),
+    ("mTextSetString", cmd_mTextSetString),
+]

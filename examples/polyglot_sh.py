@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""A Bourne-shell backend: the "arbitrary programming languages" claim.
+
+The paper's whole point is that the application program can be written
+in anything that can do unbuffered stdio -- Perl, GAWK, Prolog, Tcl, C,
+Ada in the distribution.  Here the backend is a plain ``/bin/sh``
+script: it builds a counter GUI over the pipe and increments the label
+each time the button's callback echoes ``tick`` back to it.
+"""
+
+import sys
+import tempfile
+import textwrap
+
+from repro.core import make_wafe
+from repro.core.frontend import Frontend
+from repro.xlib import close_all_displays
+
+SH_BACKEND = """\
+#!/bin/sh
+echo '%form f topLevel'
+echo '%label count f label 0 width 80'
+echo '%command tick f fromHoriz count label {tick} callback {echo tick}'
+echo '%realize'
+n=0
+while read line; do
+  case "$line" in
+    tick)
+      n=`expr $n + 1`
+      echo "%sV count label $n"
+      ;;
+    stop)
+      exit 0
+      ;;
+  esac
+done
+"""
+
+
+def main():
+    close_all_displays()
+    wafe = make_wafe()
+    with tempfile.NamedTemporaryFile("w", suffix=".sh", delete=False) as f:
+        f.write(textwrap.dedent(SH_BACKEND))
+        script = f.name
+    front = Frontend(wafe, ["/bin/sh", script])
+
+    wafe.main_loop(until=lambda: "tick" in wafe.widgets and
+                   wafe.widgets["tick"].window is not None, max_idle=400)
+    print("shell backend built the GUI; clicking 4 times...")
+    button = wafe.lookup_widget("tick")
+    display = wafe.app.default_display
+    for i in range(1, 5):
+        x, y = button.window.absolute_origin()
+        display.click(x + 2, y + 2)
+        wafe.app.process_pending()
+        wafe.main_loop(
+            until=lambda i=i: wafe.run_script("gV count label") == str(i),
+            max_idle=400)
+        print("  count label now: %s" % wafe.run_script("gV count label"))
+
+    assert wafe.run_script("gV count label") == "4"
+    front.send("stop\n")
+    front.wait(timeout=5)
+    front.close()
+    print("the same Wafe binary served a /bin/sh application program")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""The paper's Perl demo, ported: prime factors through a Wafe frontend.
+
+The paper's sample program builds this widget tree over the pipe::
+
+    %form top topLevel
+    %asciiText input top editType edit width 200
+    %action input override {<Key>Return: exec(echo [gV input string])}
+    %label result top label {} width 200 fromVert input
+    %command quit top fromVert result callback quit
+    %label info top fromVert result fromHoriz quit label {} borderWidth 0 width 150
+    %realize
+
+and then factors every number typed into the text widget, updating the
+``result`` and ``info`` labels via ``%sV`` commands.
+
+Run without arguments to see the whole thing: this script spawns
+*itself* with ``--backend`` as the application program (frontend mode),
+synthesizes the user typing numbers, and shows the labels updating.
+"""
+
+import sys
+import time
+
+
+def backend():
+    """The application program: exactly the Perl program's structure."""
+    out = sys.stdout
+    # Phase 2: build and realize the widget tree.
+    out.write(
+        "%form top topLevel\n"
+        "%asciiText input top editType edit width 200\n"
+        "%action input override"
+        " {<Key>Return: exec(echo [gV input string])}\n"
+        "%label result top label {} width 200 fromVert input\n"
+        "%command quit top fromVert result callback quit\n"
+        "%label info top fromVert result fromHoriz quit label {}"
+        " borderWidth 0 width 150\n"
+        "%realize\n"
+    )
+    out.flush()
+    # Phase 3: the read loop.
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        if line.isdigit():
+            out.write("%sV info label thinking...\n")
+            out.flush()
+            start = time.time()
+            n = int(line)
+            factors = []
+            d = 2
+            while d <= n:
+                while n % d == 0:
+                    factors.insert(0, d)
+                    n //= d
+                d += 1
+            out.write("%%sV result label {%s}\n"
+                      % "*".join(str(f) for f in factors))
+            out.write("%%sV info label {%d seconds}\n"
+                      % int(time.time() - start))
+        else:
+            out.write("%sV info label {invalid input}\n")
+        out.flush()
+
+
+def frontend():
+    from repro.core import make_wafe
+    from repro.core.frontend import Frontend
+    from repro.xlib import close_all_displays
+
+    close_all_displays()
+    wafe = make_wafe()
+    front = Frontend(wafe, [sys.executable, "-u", __file__, "--backend"])
+
+    def tree_ready():
+        widget = wafe.widgets.get("info")
+        return widget is not None and widget.window is not None
+
+    wafe.main_loop(until=tree_ready, max_idle=400)
+    print("widget tree built by the backend over the pipe:")
+    for name in ("top", "input", "result", "quit", "info"):
+        widget = wafe.lookup_widget(name)
+        print("  %-7s %-9s at (%d,%d)" % (name, widget.CLASS_NAME,
+                                          widget.resources["x"],
+                                          widget.resources["y"]))
+
+    display = wafe.app.default_display
+    text = wafe.lookup_widget("input")
+
+    for number in ("60", "97", "1001"):
+        # Clear the input, type the number, press Return.
+        wafe.run_script("sV input string {}")
+        wafe.lookup_widget("input").set_insertion_point(0)
+        display.type_string(text.window, number)
+        display.type_string(text.window, "\r")
+        wafe.app.process_pending()
+
+        expected_done = [False]
+
+        def factored():
+            label = wafe.run_script("gV result label")
+            expected_done[0] = bool(label)
+            return expected_done[0]
+
+        wafe.main_loop(until=factored, max_idle=400)
+        result = wafe.run_script("gV result label")
+        info = wafe.run_script("gV info label")
+        print("typed %-5s -> result label %r (info: %r)"
+              % (number, result, info))
+        # Verify the factorization.
+        product = 1
+        for factor in result.split("*"):
+            product *= int(factor)
+        assert product == int(number), (result, number)
+        wafe.run_script("sV result label {}")
+
+    # Click the quit button, as a user would.
+    quit_button = wafe.lookup_widget("quit")
+    x, y = quit_button.window.absolute_origin()
+    display.click(x + 2, y + 2)
+    wafe.app.process_pending()
+    assert wafe.quit_requested
+    front.close()
+    print("quit button pressed; frontend and backend shut down")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--backend" in sys.argv:
+        backend()
+    else:
+        sys.exit(frontend())

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's file-mode hello world, through the public API.
+
+Equivalent Wafe script (Figure 4, right)::
+
+    #!/usr/bin/X11/wafe --f
+    command hello topLevel \\
+        label "Wafe new World" \\
+        callback "echo Goodbye; quit"
+    realize
+
+We build it, click the button with the synthetic pointer, and save a
+screenshot of the realized widget as an XPM file.
+"""
+
+import sys
+
+from repro.core import make_wafe
+from repro.xlib import close_all_displays
+from repro.xlib.graphics import window_pixels
+from repro.xlib.xpm import write_xpm
+
+
+def main():
+    close_all_displays()
+    wafe = make_wafe()
+
+    # Echo output would normally go to stdout (or the backend pipe);
+    # capture it so we can show the callback really ran.
+    said = []
+    wafe.interp.write_output = lambda text: said.append(text.rstrip("\n"))
+
+    wafe.run_script(
+        'command hello topLevel '
+        'label "Wafe new World" '
+        'callback "echo Goodbye; quit"'
+    )
+    wafe.run_script("realize")
+
+    button = wafe.lookup_widget("hello")
+    print("created %s widget %r with label %r"
+          % (button.CLASS_NAME, button.name, button["label"]))
+    print("shell window: %dx%d"
+          % (wafe.top_level.window.width, wafe.top_level.window.height))
+
+    screenshot = write_xpm(window_pixels(wafe.top_level.window),
+                           name="quickstart")
+    with open("quickstart.xpm", "w") as handle:
+        handle.write(screenshot)
+    print("saved screenshot to quickstart.xpm (%d bytes)"
+          % len(screenshot))
+
+    # A user clicks the button.
+    x, y = button.window.absolute_origin()
+    wafe.app.default_display.click(x + 4, y + 4)
+    wafe.app.process_pending()
+
+    print("callback output:", said)
+    assert said == ["Goodbye"], said
+    assert wafe.quit_requested
+    print("quit requested -- hello world complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

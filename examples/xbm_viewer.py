@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""xbm: "bitmap and pixmap viewer" from the demo list.
+
+Demonstrates the extended String-to-Bitmap converter: setting a Label's
+``bitmap`` resource to a *file name* loads the image -- trying the
+standard X bitmap (XBM) format first and falling back to Xpm, exactly
+as the paper describes.  A List of files on the left, the image on the
+right; selecting a file displays it.
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.core import make_wafe
+from repro.xlib import close_all_displays
+from repro.xlib.colors import alloc_color
+from repro.xlib.graphics import window_pixels
+
+CHECKER_XBM = """#define check_width 8
+#define check_height 8
+static char check_bits[] = {
+  0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa, 0x55, 0xaa };
+"""
+
+ARROW_XPM = """/* XPM */
+static char * arrow[] = {
+"7 5 2 1",
+". c white",
+"# c red",
+"...#...",
+"..###..",
+".#####.",
+"..###..",
+"..###.."};
+"""
+
+
+def write_images(directory):
+    paths = {}
+    for name, text in (("checker.xbm", CHECKER_XBM),
+                       ("arrow.xpm", ARROW_XPM)):
+        path = os.path.join(directory, name)
+        with open(path, "w") as handle:
+            handle.write(text)
+        paths[name] = path
+    return paths
+
+
+def main():
+    close_all_displays()
+    with tempfile.TemporaryDirectory() as directory:
+        paths = write_images(directory)
+        wafe = make_wafe()
+        wafe.register_command("showImage", lambda w, argv: (
+            w.run_script("sV image bitmap {%s}"
+                         % paths[argv[1]]), "")[1])
+        wafe.run_script("form f topLevel")
+        wafe.run_script("list files f list {%s}"
+                        % " ".join(sorted(paths)))
+        wafe.run_script('sV files callback "showImage {%s}"')
+        wafe.run_script("label image f fromHoriz files width 80 height 60"
+                        " label {}")
+        wafe.run_script("realize")
+
+        lst = wafe.lookup_widget("files")
+        image = wafe.lookup_widget("image")
+
+        def select(name):
+            index = lst.items().index(name)
+            x, y = lst.window.absolute_origin()
+            wafe.app.default_display.click(
+                x + 3, y + lst.resources["internalHeight"]
+                + index * lst.row_height() + 1)
+            wafe.app.process_pending()
+            image.redraw()
+
+        select("arrow.xpm")
+        pixels = window_pixels(image.window)
+        red = int((pixels == alloc_color("red")).sum())
+        print("selected arrow.xpm -> %d red pixels painted" % red)
+        assert red >= 13  # the arrow shape
+
+        select("checker.xbm")
+        bitmap = image.resources["bitmap"]
+        print("selected checker.xbm -> bitmap %dx%d, %d bits set"
+              % (bitmap.shape[1], bitmap.shape[0], int(bitmap.sum())))
+        assert bitmap.shape == (8, 8)
+        assert int(bitmap.sum()) == 32  # half the checkerboard
+
+        print("the extended String-to-Bitmap converter handled both"
+              " XBM and XPM files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

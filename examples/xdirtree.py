@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""xdirtree: the tree directory browser from the demo list.
+
+A List widget shows the entries of the current directory; selecting a
+directory descends into it, selecting ``..`` goes up.  The selection
+callback uses the paper's List percent codes (%s is the active
+element).  The script builds a small tree in a temp directory and
+walks it by synthesized clicks.
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.core import make_wafe
+from repro.xlib import close_all_displays
+
+
+def build_sample_tree(root):
+    os.makedirs(os.path.join(root, "src", "repro"))
+    os.makedirs(os.path.join(root, "docs"))
+    for path in ("README", "src/setup.py", "src/repro/__init__.py",
+                 "docs/paper.txt"):
+        with open(os.path.join(root, path), "w") as handle:
+            handle.write("content of %s\n" % path)
+
+
+class DirTree:
+    def __init__(self, wafe, root):
+        self.wafe = wafe
+        self.current = root
+        wafe.register_command("chdirList", self.cmd_chdir)
+        wafe.run_script("form f topLevel")
+        wafe.run_script('label where f label {} width 260 borderWidth 0'
+                        ' justify left')
+        wafe.run_script('list dir f fromVert where list {}')
+        wafe.run_script('sV dir callback "chdirList %s"')
+        wafe.run_script("realize")
+        self.show(root)
+
+    def entries(self):
+        names = sorted(os.listdir(self.current))
+        out = [".."]
+        for name in names:
+            full = os.path.join(self.current, name)
+            out.append(name + "/" if os.path.isdir(full) else name)
+        return out
+
+    def show(self, path):
+        self.current = os.path.abspath(path)
+        self.wafe.run_script("sV where label {%s}" % self.current)
+        self.wafe.lookup_widget("dir").change_list(self.entries())
+        self.wafe.app.process_pending()
+
+    def cmd_chdir(self, wafe, argv):
+        choice = argv[1] if len(argv) > 1 else ""
+        if choice == "..":
+            self.show(os.path.dirname(self.current))
+        elif choice.endswith("/"):
+            self.show(os.path.join(self.current, choice[:-1]))
+        else:
+            wafe.run_script("sV where label {file: %s}"
+                            % os.path.join(self.current, choice))
+        return ""
+
+
+def click_entry(wafe, text):
+    """Click the list row whose label is ``text``."""
+    lst = wafe.lookup_widget("dir")
+    index = lst.items().index(text)
+    x, y = lst.window.absolute_origin()
+    row_y = y + lst.resources["internalHeight"] + \
+        index * lst.row_height() + 1
+    wafe.app.default_display.click(x + 3, row_y)
+    wafe.app.process_pending()
+
+
+def main():
+    close_all_displays()
+    with tempfile.TemporaryDirectory() as root:
+        build_sample_tree(root)
+        wafe = make_wafe()
+        browser = DirTree(wafe, root)
+        print("browsing", root)
+        print("  entries:", browser.entries())
+
+        click_entry(wafe, "src/")
+        print("clicked src/  ->", wafe.run_script("gV where label"))
+        assert browser.current == os.path.join(root, "src")
+
+        click_entry(wafe, "repro/")
+        assert browser.current == os.path.join(root, "src", "repro")
+        print("clicked repro/ -> entries:", browser.entries())
+
+        click_entry(wafe, "__init__.py")
+        where = wafe.run_script("gV where label")
+        print("clicked file  ->", where)
+        assert where.startswith("file:")
+
+        click_entry(wafe, "..")
+        click_entry(wafe, "..")
+        assert browser.current == os.path.abspath(root)
+        print("back at the root; directory browser works")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The paper's xev example, reproduced to the byte.
+
+    label xev topLevel
+    action xev override {<KeyPress>: exec(echo %k %a %s)}
+
+"If the input 'w!' is typed on the label widget xev, Wafe prints the
+following output to the associated terminal:
+
+    198 w w
+    174 Shift_L
+    197 ! exclam"
+"""
+
+import sys
+
+from repro.core import make_wafe
+from repro.xlib import close_all_displays
+
+EXPECTED = ["198 w w", "174 Shift_L", "197 ! exclam"]
+
+
+def main():
+    close_all_displays()
+    wafe = make_wafe()
+    printed = []
+    wafe.interp.write_output = lambda text: printed.append(text.rstrip("\n"))
+
+    wafe.run_script("label xev topLevel")
+    wafe.run_script("action xev override {<KeyPress>: exec(echo %k %a %s)}")
+    wafe.run_script("realize")
+
+    xev = wafe.lookup_widget("xev")
+    wafe.app.default_display.type_string(xev.window, "w!")
+    wafe.app.process_pending()
+
+    print("typed \"w!\" on the xev label; Wafe printed:")
+    for line in printed:
+        print("  " + line)
+    assert printed == EXPECTED, (printed, EXPECTED)
+    print("matches the paper's output exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

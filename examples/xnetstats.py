@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""xnetstats: "network statistics, frontend for netstat -i <interval>".
+
+The backend plays the role of ``netstat -i`` emitting one line of
+interface counters per interval (simulated -- the sandbox has no
+network); the frontend shows packets/sec on a StripChart and the
+running totals on labels.  This is the paper's monitor-frontend
+pattern: an existing ASCII tool gains a GUI without being modified
+beyond printing ``%`` lines.
+"""
+
+import sys
+import time
+
+
+def fake_netstat_line(tick):
+    """One sample of (ipkts, opkts), deterministic."""
+    in_packets = 1000 + tick * 37 + (tick * tick) % 91
+    out_packets = 800 + tick * 29 + (tick * 3) % 53
+    return in_packets, out_packets
+
+
+def backend(intervals=6):
+    out = sys.stdout
+    out.write(
+        "%form f topLevel\n"
+        "%label title f label {netstat -i 1} borderWidth 0\n"
+        "%label inLbl f label {in: 0} width 120 fromVert title\n"
+        "%label outLbl f label {out: 0} width 120 fromVert title"
+        " fromHoriz inLbl\n"
+        "%stripChart chart f update 0 width 200 height 60 fromVert inLbl\n"
+        "%lineGraph rates f data {0 0} width 200 height 60 fromVert chart\n"
+        "%realize\n"
+    )
+    out.flush()
+    sys.stdin.readline()  # go
+    previous = fake_netstat_line(0)
+    rates = []
+    for tick in range(1, intervals + 1):
+        current = fake_netstat_line(tick)
+        rate = current[0] - previous[0]
+        rates.append(str(rate))
+        out.write("%%sV inLbl label {in: %d}\n" % current[0])
+        out.write("%%sV outLbl label {out: %d}\n" % current[1])
+        out.write("%%plotterSetData rates {%s}\n" % " ".join(rates))
+        out.write("%%set ticks %d\n" % tick)
+        out.flush()
+        previous = current
+        time.sleep(0.02)
+
+
+def frontend():
+    from repro.core import make_wafe
+    from repro.core.frontend import Frontend
+    from repro.xlib import close_all_displays
+
+    close_all_displays()
+    wafe = make_wafe()
+    front = Frontend(wafe, [sys.executable, "-u", __file__, "--backend"])
+    wafe.main_loop(until=lambda: "rates" in wafe.widgets and
+                   wafe.widgets["rates"].window is not None, max_idle=400)
+    front.send("go\n")
+    wafe.main_loop(until=lambda: wafe.interp.var_exists("ticks") and
+                   wafe.run_script("set ticks") == "6", max_idle=1000)
+
+    in_label = wafe.run_script("gV inLbl label")
+    out_label = wafe.run_script("gV outLbl label")
+    rates = wafe.widgets["rates"].values()
+    print("after 6 intervals:")
+    print("  %s | %s" % (in_label, out_label))
+    print("  packet-rate series: %s" % rates)
+    assert in_label.startswith("in: ") and int(in_label[4:]) > 1000
+    assert len(rates) == 6 and all(r > 0 for r in rates)
+    front.close()
+    print("xnetstats frontend tracked a live counter stream")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--backend" in sys.argv:
+        backend()
+    else:
+        sys.exit(frontend())

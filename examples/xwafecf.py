@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""xwafecf: "a simple read-only card filer".
+
+Cards live in a flat text file (name/phone/room records, the kind of
+data the paper's Oracle frontends served).  A List shows the names; a
+Dialog-like form shows the selected card; an AsciiText field filters
+by substring -- the "field completion and other funky stuff" spirit of
+xwafeora, in miniature and in pure file mode (no backend process).
+"""
+
+import sys
+
+from repro.core import make_wafe
+from repro.xlib import close_all_displays
+
+CARDS = [
+    {"name": "Gustaf Neumann", "phone": "4277-38451", "room": "D2.054"},
+    {"name": "Stefan Nusser", "phone": "4277-38452", "room": "D2.056"},
+    {"name": "John Ousterhout", "phone": "510-642", "room": "Soda 413"},
+    {"name": "Kaleb Keithley", "phone": "617-555", "room": "MIT NE43"},
+]
+
+
+class CardFiler:
+    def __init__(self, wafe, cards):
+        self.wafe = wafe
+        self.cards = cards
+        self.visible = list(cards)
+        wafe.register_command("showCard", self.cmd_show_card)
+        wafe.register_command("filterCards", self.cmd_filter)
+        wafe.run_script("form f topLevel")
+        wafe.run_script("asciiText filter f editType edit width 200")
+        wafe.run_script(
+            "action filter override {<Key>Return: "
+            "exec(filterCards [gV filter string])}")
+        wafe.run_script("list names f fromVert filter list {%s}"
+                        % " ".join("{%s}" % c["name"] for c in cards))
+        # Brace the substitution: card names contain spaces.
+        wafe.run_script('sV names callback "showCard {%s}"')
+        wafe.run_script("label cardName f fromVert names width 220"
+                        " borderWidth 0 label {}")
+        wafe.run_script("label cardPhone f fromVert cardName width 220"
+                        " borderWidth 0 label {}")
+        wafe.run_script("label cardRoom f fromVert cardPhone width 220"
+                        " borderWidth 0 label {}")
+        wafe.run_script("realize")
+
+    def cmd_show_card(self, wafe, argv):
+        name = argv[1] if len(argv) > 1 else ""
+        for card in self.cards:
+            if card["name"] == name:
+                wafe.run_script("sV cardName label {Name: %s}" % card["name"])
+                wafe.run_script("sV cardPhone label {Phone: %s}"
+                                % card["phone"])
+                wafe.run_script("sV cardRoom label {Room: %s}" % card["room"])
+                return ""
+        return ""
+
+    def cmd_filter(self, wafe, argv):
+        needle = (argv[1] if len(argv) > 1 else "").lower()
+        self.visible = [c for c in self.cards
+                        if needle in c["name"].lower()]
+        wafe.lookup_widget("names").change_list(
+            [c["name"] for c in self.visible])
+        return ""
+
+
+def click_name(wafe, name):
+    lst = wafe.lookup_widget("names")
+    index = lst.items().index(name)
+    x, y = lst.window.absolute_origin()
+    wafe.app.default_display.click(
+        x + 3, y + lst.resources["internalHeight"] +
+        index * lst.row_height() + 1)
+    wafe.app.process_pending()
+
+
+def main():
+    close_all_displays()
+    wafe = make_wafe()
+    filer = CardFiler(wafe, CARDS)
+
+    click_name(wafe, "Stefan Nusser")
+    print("selected card:")
+    for field in ("cardName", "cardPhone", "cardRoom"):
+        print("  " + wafe.run_script("gV %s label" % field))
+    assert wafe.run_script("gV cardPhone label") == "Phone: 4277-38452"
+
+    # Type a filter and press Return.
+    text = wafe.lookup_widget("filter")
+    wafe.app.default_display.type_string(text.window, "neu")
+    wafe.app.default_display.type_string(text.window, "\r")
+    wafe.app.process_pending()
+    names = wafe.lookup_widget("names").items()
+    print("filter 'neu' ->", names)
+    assert names == ["Gustaf Neumann"]
+
+    click_name(wafe, "Gustaf Neumann")
+    assert wafe.run_script("gV cardRoom label") == "Room: D2.054"
+    print("card filer works (read-only, file mode, no backend process)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""xwafedesign: the interactive design program (Figure 6), scripted.
+
+Interactive mode is the paper's development story: "The user sees how
+the widget tree is built and modified step by step."  This example
+drives an :class:`InteractiveSession` the way a designer at the
+keyboard would -- creating widgets, inspecting resources, adjusting
+them, examining the tree -- and prints the session transcript.
+"""
+
+import io
+import sys
+
+from repro.core import InteractiveSession, make_wafe
+from repro.tcl.lists import string_to_list
+from repro.xlib import close_all_displays
+
+SESSION = [
+    "wafeVersion",
+    "form f topLevel",
+    "label title f label {Wafe Designer} borderWidth 0",
+    "command ok f fromVert title label OK",
+    "command cancel f fromVert title fromHoriz ok label Cancel",
+    "realize",
+    "echo [getResourceList ok retVal]",
+    "gV ok label",
+    "sV ok background gray75",
+    "gV ok background",
+    "widgetTree f",
+    "destroyWidget cancel",
+    "widgetTree f",
+]
+
+
+def main():
+    close_all_displays()
+    wafe = make_wafe()
+    output = io.StringIO()
+    session = InteractiveSession(wafe, output=output)
+
+    print("interactive design session:")
+    for command in SESSION:
+        result = session.execute(command)
+        print("  wafe> %s" % command)
+        if result:
+            print("        -> %s" % (result if len(result) < 70
+                                     else result[:67] + "..."))
+
+    # The tree after deleting 'cancel': only title and ok remain.
+    tree = session.execute("widgetTree f")
+    name, class_name, children = string_to_list(tree)
+    child_names = [string_to_list(c)[0] for c in string_to_list(children)]
+    print("final tree under %r (%s): %s" % (name, class_name, child_names))
+    assert child_names == ["title", "ok"]
+    assert wafe.run_script("widgetExists cancel") == "0"
+
+    # Everything the designer did is in the transcript.
+    assert len(session.transcript) == len(SESSION) + 1
+    print("transcript of %d interactive commands recorded"
+          % len(session.transcript))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""xwafemail: "Mail user frontend ... using elm aliases".
+
+The mail logic (folder parsing, aliases, deletion) lives in the backend
+process, exactly as the paper's architecture prescribes; the frontend
+only renders.  The mailbox is a generated mbox-style folder; "elm
+aliases" map short names to addresses when displaying the From line.
+
+The backend builds a classic three-pane reader over the pipe: a List
+of message summaries, an AsciiText with the selected body, and a
+button row (delete / quit).
+"""
+
+import sys
+
+ALIASES = {
+    "gustaf": "Gustaf Neumann <neumann@wu-wien.ac.at>",
+    "stefan": "Stefan Nusser <nusser@wu-wien.ac.at>",
+    "jo": "John Ousterhout <ouster@cs.berkeley.edu>",
+}
+
+MAILBOX = [
+    {"from": "gustaf", "subject": "Wafe 0.93 released",
+     "body": "The new version is on ftp.wu-wien.ac.at.\nEnjoy, Gustaf"},
+    {"from": "stefan", "subject": "master thesis draft",
+     "body": "Please find the draft attached.\n-- Stefan"},
+    {"from": "jo", "subject": "Re: Tcl and Tk",
+     "body": "Nice frontend approach!\nJohn"},
+]
+
+
+def tcl_quote(text):
+    """Quote arbitrary text for a *single-line* Wafe command.
+
+    The protocol requires every command to fit on one line, so newlines
+    must travel as Tcl ``\\n`` escapes inside a double-quoted word.
+    """
+    out = text
+    for ch in ("\\", '"', "$", "[", "]"):
+        out = out.replace(ch, "\\" + ch)
+    return '"' + out.replace("\n", "\\n") + '"'
+
+
+def backend():
+    out = sys.stdout
+    mailbox = list(MAILBOX)
+
+    def summaries():
+        return " ".join(
+            "{%d: %s -- %s}" % (i + 1, ALIASES[m["from"]].split(" <")[0],
+                                m["subject"])
+            for i, m in enumerate(mailbox))
+
+    out.write(
+        "%form f topLevel\n"
+        "%label status f label {3 messages} borderWidth 0 width 300"
+        " justify left\n"
+        "%list msgs f fromVert status list {" + summaries().replace(
+            "{", "{").replace("}", "}") + "}\n"
+        "%sV msgs callback {echo select %i}\n"
+        "%asciiText body f fromVert msgs editType read width 300"
+        " height 80 string {}\n"
+        "%command del f fromVert body label {delete}"
+        " callback {echo delete}\n"
+        "%command quit f fromVert body fromHoriz del label {quit}"
+        " callback {echo bye}\n"
+        "%realize\n"
+    )
+    out.flush()
+    selected = [None]
+    for line in sys.stdin:
+        words = line.split()
+        if not words:
+            continue
+        if words[0] == "select" and len(words) > 1:
+            index = int(words[1])
+            selected[0] = index
+            message = mailbox[index]
+            body = "From: %s\nSubject: %s\n\n%s" % (
+                ALIASES[message["from"]], message["subject"],
+                message["body"])
+            out.write("%%sV body string %s\n" % tcl_quote(body))
+        elif words[0] == "delete" and selected[0] is not None:
+            del mailbox[selected[0]]
+            selected[0] = None
+            out.write("%%listChange msgs {%s} true\n" % summaries())
+            out.write("%%sV status label {%d messages}\n" % len(mailbox))
+            out.write("%sV body string {}\n")
+        elif words[0] == "bye":
+            break
+        out.flush()
+
+
+def click_row(wafe, row):
+    lst = wafe.lookup_widget("msgs")
+    x, y = lst.window.absolute_origin()
+    wafe.app.default_display.click(
+        x + 3, y + lst.resources["internalHeight"] +
+        row * lst.row_height() + 1)
+    wafe.app.process_pending()
+
+
+def click_button(wafe, name):
+    widget = wafe.lookup_widget(name)
+    x, y = widget.window.absolute_origin()
+    wafe.app.default_display.click(x + 2, y + 2)
+    wafe.app.process_pending()
+
+
+def frontend():
+    from repro.core import make_wafe
+    from repro.core.frontend import Frontend
+    from repro.xlib import close_all_displays
+
+    close_all_displays()
+    wafe = make_wafe()
+    front = Frontend(wafe, [sys.executable, "-u", __file__, "--backend"])
+    wafe.main_loop(until=lambda: "quit" in wafe.widgets and
+                   wafe.widgets["quit"].window is not None, max_idle=400)
+
+    print("mailbox:", wafe.lookup_widget("msgs").items())
+    click_row(wafe, 1)  # read Stefan's mail
+    wafe.main_loop(until=lambda: wafe.run_script("gV body string") != "",
+                   max_idle=600)
+    body = wafe.run_script("gV body string")
+    print("opened message 2:")
+    for line in body.split("\n")[:2]:
+        print("  " + line)
+    assert "nusser@wu-wien.ac.at" in body  # the alias expanded
+
+    click_button(wafe, "del")  # delete it
+    wafe.main_loop(until=lambda: wafe.run_script("gV status label") ==
+                   "2 messages", max_idle=600)
+    items = wafe.lookup_widget("msgs").items()
+    print("after delete:", items)
+    assert len(items) == 2
+    assert not any("thesis" in item for item in items)
+
+    click_button(wafe, "quit")
+    wafe.main_loop(max_idle=100)
+    front.close()
+    print("xwafemail: aliases, reading and deletion all worked")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--backend" in sys.argv:
+        backend()
+    else:
+        sys.exit(frontend())

@@ -1,0 +1,11 @@
+"""Compatibility shim so ``python setup.py develop`` works offline.
+
+The sandbox used for the reproduction has no network access and no
+``wheel`` package, which breaks PEP 517 editable installs.  Either run
+``python setup.py develop`` or drop a ``.pth`` file pointing at ``src``
+into site-packages; ``pip install -e .`` works on normal machines.
+"""
+
+from setuptools import setup
+
+setup()

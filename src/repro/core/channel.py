@@ -1,0 +1,100 @@
+"""The line-oriented communication protocol (Figure 4).
+
+Lines arriving from the application that start with the prefix
+character (``%`` by default) are Wafe commands; everything else is
+passed through to Wafe's stdout.  A command must fit in one line; the
+maximum length is a compile-time constant in the paper (64 kB default)
+and a constructor argument here.
+
+:class:`LineParser` is the transport-independent core -- the frontend
+feeds it whatever bytes arrive on the pipe; it splits lines, enforces
+the length limit, and classifies command versus passthrough.  The mass
+transfer channel bypasses this parser entirely
+(:class:`MassTransferState`).
+"""
+
+DEFAULT_PREFIX = "%"
+DEFAULT_MAX_LINE = 64 * 1024
+
+
+class LineTooLong(Exception):
+    """A protocol line exceeded the configured maximum."""
+
+
+class LineParser:
+    """Incremental splitter/classifier for the command channel."""
+
+    def __init__(self, prefix=DEFAULT_PREFIX, max_line=DEFAULT_MAX_LINE):
+        self.prefix = prefix
+        self.max_line = max_line
+        self._buffer = b""
+        self.lines_seen = 0
+        self.commands_seen = 0
+
+    def split_lines(self, data):
+        """Feed raw bytes; returns complete lines (classification is
+        separate so a ``setPrefix`` command takes effect for the very
+        next line, even within one read)."""
+        if isinstance(data, str):
+            data = data.encode("utf-8", "replace")
+        self._buffer += data
+        lines = []
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline < 0:
+                if len(self._buffer) > self.max_line:
+                    self._buffer = b""
+                    raise LineTooLong(
+                        "protocol line exceeds %d bytes" % self.max_line)
+                break
+            raw = self._buffer[:newline]
+            self._buffer = self._buffer[newline + 1 :]
+            if len(raw) > self.max_line:
+                raise LineTooLong(
+                    "protocol line exceeds %d bytes" % self.max_line)
+            lines.append(raw.decode("utf-8", "replace"))
+        return lines
+
+    def classify(self, line):
+        """One line -> ("command", body) or ("output", line)."""
+        self.lines_seen += 1
+        if line.startswith(self.prefix):
+            self.commands_seen += 1
+            return ("command", line[len(self.prefix):])
+        return ("output", line)
+
+    def feed(self, data):
+        """Feed raw bytes; returns [("command"|"output", text), ...]."""
+        return [self.classify(line) for line in self.split_lines(data)]
+
+    def pending_bytes(self):
+        return len(self._buffer)
+
+
+class MassTransferState:
+    """State for one ``setCommunicationVariable`` request.
+
+    Accumulates raw bytes from the mass channel; once ``limit`` bytes
+    have arrived the data is stored into the named Tcl variable and the
+    completion script runs ("After 100000 bytes are read, the Tcl
+    command specified in the last argument will be executed").
+    """
+
+    def __init__(self, var_name, limit, completion_script):
+        self.var_name = var_name
+        self.limit = limit
+        self.completion_script = completion_script
+        self.received = b""
+
+    def feed(self, data):
+        """Returns (payload, leftover) when complete, else None."""
+        self.received += data
+        if len(self.received) >= self.limit:
+            payload = self.received[: self.limit]
+            leftover = self.received[self.limit :]
+            return payload, leftover
+        return None
+
+    @property
+    def missing(self):
+        return max(0, self.limit - len(self.received))

@@ -1,0 +1,114 @@
+"""The ``wafe`` / ``mofe`` command line.
+
+Argument handling follows the paper: arguments starting with a double
+dash are for the frontend itself; the rest go to the X Toolkit
+(``-display``, ``-xrm``) or -- in frontend mode -- to the application
+program.  The mode is chosen the way the paper describes:
+
+* invoked through a link named ``xfoo``  -> frontend mode running ``foo``
+* ``--f script`` (the ``#!`` magic)      -> file mode
+* ``--app program``                      -> frontend mode
+* otherwise                              -> interactive mode
+"""
+
+import sys
+
+from repro.core.frontend import backend_for_invocation
+from repro.core.modes import (
+    InteractiveSession,
+    make_wafe,
+    run_file,
+    run_frontend,
+)
+
+_XT_FLAGS_WITH_VALUE = ("-display", "-xrm", "-name", "-title", "-geometry",
+                        "-fn", "-bg", "-fg")
+
+
+def split_arguments(argv):
+    """Partition argv into (frontend_options, xt_args, app_args)."""
+    frontend = {}
+    xt_args = []
+    app_args = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg.startswith("--"):
+            key = arg[2:]
+            if key in ("f", "app", "prefix", "build", "resources"):
+                if i + 1 >= len(argv):
+                    raise SystemExit("wafe: option %s needs a value" % arg)
+                frontend[key] = argv[i + 1]
+                i += 2
+            elif key in ("interactive", "version", "help"):
+                frontend[key] = True
+                i += 1
+            else:
+                frontend[key] = True
+                i += 1
+        elif arg in _XT_FLAGS_WITH_VALUE:
+            xt_args.extend(argv[i : i + 2])
+            i += 2
+        else:
+            app_args.append(arg)
+            i += 1
+    return frontend, xt_args, app_args
+
+
+def _display_from(xt_args):
+    for i, arg in enumerate(xt_args):
+        if arg == "-display" and i + 1 < len(xt_args):
+            return xt_args[i + 1]
+    return ":0"
+
+
+def _main(build, argv=None):
+    argv = list(sys.argv if argv is None else argv)
+    invoked_as = argv[0] if argv else "wafe"
+    options, xt_args, app_args = split_arguments(argv[1:])
+    if options.get("help"):
+        sys.stdout.write(__doc__ + "\n")
+        return 0
+    if options.get("version"):
+        from repro.core.wafe import VERSION
+
+        sys.stdout.write("wafe %s\n" % VERSION)
+        return 0
+    build = options.get("build", build)
+    wafe = make_wafe(build=build, display_name=_display_from(xt_args),
+                     argv=xt_args)
+    if options.get("resources"):
+        # A resource description file, evaluated at startup (the lowest
+        # precedence way of setting resource values in the paper).
+        wafe.app.load_resource_file(options["resources"])
+        # Re-apply -xrm entries so they keep their higher precedence.
+        wafe._apply_xt_arguments(xt_args)
+    backend = options.get("app") or backend_for_invocation(invoked_as)
+    if options.get("f"):
+        script = options["f"]
+        run_file(wafe, script)
+        return 0
+    if backend:
+        run_frontend(wafe, backend, app_args)
+        return 0
+    if app_args and not options.get("interactive"):
+        # A bare script path also selects file mode.
+        run_file(wafe, app_args[0])
+        return 0
+    session = InteractiveSession(wafe)
+    session.run()
+    return 0
+
+
+def main(argv=None):
+    """Entry point of the Athena build (``wafe``)."""
+    return _main("athena", argv)
+
+
+def motif_main(argv=None):
+    """Entry point of the Motif build (``mofe``)."""
+    return _main("motif", argv)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

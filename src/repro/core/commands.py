@@ -1,0 +1,220 @@
+"""Handwritten Wafe commands (the irregular, non-generated ones).
+
+These are the commands the paper describes individually: ``echo``,
+``quit``, ``realize``, ``setValues``/``sV``, ``getValue``/``gV``,
+``mergeResources``, ``action``, ``callback`` (predefined callbacks),
+``applicationShell`` (display instead of parent), and the communication
+commands ``getChannel`` / ``setCommunicationVariable``.
+"""
+
+from repro.tcl.errors import TclError
+
+
+def _wrong_args(usage):
+    raise TclError('wrong # args: should be "%s"' % usage)
+
+
+def cmd_echo(wafe, argv):
+    """Join the arguments with spaces and send them down the channel."""
+    wafe.echo(" ".join(argv[1:]))
+    return ""
+
+
+def cmd_quit(wafe, argv):
+    wafe.quit()
+    return ""
+
+
+def cmd_realize(wafe, argv):
+    """Realize the widget tree (topLevel unless a widget is given)."""
+    if len(argv) > 2:
+        _wrong_args("realize ?widget?")
+    widget = wafe.lookup_widget(argv[1]) if len(argv) == 2 else None
+    wafe.realize(widget)
+    return ""
+
+def cmd_set_values(wafe, argv):
+    if len(argv) < 2 or len(argv) % 2 != 0:
+        _wrong_args("setValues widget ?attr value ...?")
+    widget = wafe.lookup_widget(argv[1])
+    args = {argv[i]: argv[i + 1] for i in range(2, len(argv), 2)}
+    widget.set_values(args)
+    wafe.app.process_pending()
+    return ""
+
+
+def cmd_get_value(wafe, argv):
+    if len(argv) != 3:
+        _wrong_args("getValue widget resource")
+    widget = wafe.lookup_widget(argv[1])
+    return widget.get_value_string(argv[2])
+
+
+def cmd_get_values(wafe, argv):
+    """Multiple resources into variables: getValues w res var ?res var?"""
+    if len(argv) < 4 or len(argv) % 2 != 0:
+        _wrong_args("getValues widget resource varName ?resource varName ...?")
+    widget = wafe.lookup_widget(argv[1])
+    for i in range(2, len(argv), 2):
+        wafe.interp.set_var(argv[i + 1], widget.get_value_string(argv[i]))
+    return ""
+
+
+def cmd_merge_resources(wafe, argv):
+    """Extend the resource database from within a script."""
+    if len(argv) < 2:
+        _wrong_args("mergeResources spec value ?spec value ...?")
+    if len(argv) == 2:
+        wafe.app.merge_resources(argv[1])
+        return ""
+    if len(argv) % 2 != 1:
+        _wrong_args("mergeResources spec value ?spec value ...?")
+    for i in range(1, len(argv), 2):
+        wafe.app.database.put(argv[i], argv[i + 1])
+    return ""
+
+
+def cmd_action(wafe, argv):
+    """action widget override|augment|replace translations..."""
+    if len(argv) < 4:
+        _wrong_args("action widget mode translation ?translation ...?")
+    widget = wafe.lookup_widget(argv[1])
+    mode = argv[2]
+    if mode not in ("override", "augment", "replace"):
+        raise TclError(
+            'bad mode "%s": must be override, augment, or replace' % mode)
+    table_text = "\n".join(argv[3:])
+    wafe.merge_widget_translations(widget, table_text, mode)
+    return ""
+
+
+def cmd_callback(wafe, argv):
+    """callback widget resource predefinedFunc ?arg ...?"""
+    if len(argv) < 4:
+        _wrong_args("callback widget resource function ?arg ...?")
+    widget = wafe.lookup_widget(argv[1])
+    wafe.add_predefined_callback(widget, argv[2], argv[3], list(argv[4:]))
+    return ""
+
+
+def cmd_add_callback(wafe, argv):
+    """addCallback widget resource script: append a Tcl callback."""
+    if len(argv) != 4:
+        _wrong_args("addCallback widget resource script")
+    widget = wafe.lookup_widget(argv[1])
+    if argv[2] not in widget.class_resource_map():
+        raise TclError('widget "%s" has no callback resource "%s"'
+                       % (argv[1], argv[2]))
+    callback_list = widget.callback_list(argv[2])
+    wafe._add_script_callback(callback_list, argv[3])
+    return ""
+
+
+def cmd_application_shell(wafe, argv):
+    """applicationShell name display ?attr value ...? -- the paper's
+    multi-display mechanism (children map to the named display)."""
+    if len(argv) < 3:
+        _wrong_args("applicationShell name display ?attr value ...?")
+    rest = argv[3:]
+    if len(rest) % 2 != 0:
+        raise TclError("attribute list must have an even number of elements")
+    args = {rest[i]: rest[i + 1] for i in range(0, len(rest), 2)}
+    return wafe.create_application_shell(argv[1], argv[2], args)
+
+
+def cmd_wafe_version(wafe, argv):
+    from repro.core.wafe import VERSION
+
+    return VERSION
+
+
+def cmd_widget_tree(wafe, argv):
+    """widgetTree ?widget?: the widget hierarchy as a Tcl list (used by
+    the interactive designer example)."""
+    from repro.tcl.lists import list_to_string
+
+    root = wafe.lookup_widget(argv[1]) if len(argv) == 2 else wafe.top_level
+
+    def describe(widget):
+        children = [describe(c) for c in widget.children
+                    if c.name in wafe.widgets]
+        return list_to_string([widget.name, widget.CLASS_NAME,
+                               list_to_string(children)])
+
+    return describe(root)
+
+
+def cmd_widget_exists(wafe, argv):
+    if len(argv) != 2:
+        _wrong_args("widgetExists name")
+    return "1" if argv[1] in wafe.widgets else "0"
+
+
+def cmd_sync(wafe, argv):
+    """Dispatch everything pending (useful in scripts and tests)."""
+    wafe.app.process_pending()
+    return ""
+
+
+def cmd_get_channel(wafe, argv):
+    """getChannel: the fd the application writes mass data to."""
+    if wafe.frontend is None:
+        raise TclError("getChannel: no application attached")
+    return str(wafe.frontend.mass_channel_fd())
+
+
+def cmd_set_communication_variable(wafe, argv):
+    """setCommunicationVariable varName byteCount completionScript."""
+    if len(argv) != 4:
+        _wrong_args("setCommunicationVariable varName byteCount script")
+    if wafe.frontend is None:
+        raise TclError("setCommunicationVariable: no application attached")
+    try:
+        limit = int(argv[2])
+    except ValueError:
+        raise TclError('expected integer but got "%s"' % argv[2])
+    wafe.frontend.set_communication_variable(argv[1], limit, argv[3])
+    return ""
+
+
+def cmd_set_prefix(wafe, argv):
+    """setPrefix char: change the command-prefix character of the
+    protocol (the paper: lines "starting with a certain character
+    (such as %)")."""
+    if len(argv) != 2 or len(argv[1]) != 1:
+        _wrong_args("setPrefix char")
+    if wafe.frontend is None:
+        raise TclError("setPrefix: no application attached")
+    wafe.frontend.parser.prefix = argv[1]
+    return ""
+
+
+def cmd_send_to_application(wafe, argv):
+    """sendToApplication string: like echo but never to stdout."""
+    if wafe.frontend is None:
+        raise TclError("sendToApplication: no application attached")
+    wafe.frontend.send(" ".join(argv[1:]) + "\n")
+    return ""
+
+
+def register(wafe):
+    wafe.register_command("echo", cmd_echo)
+    wafe.register_command("quit", cmd_quit)
+    wafe.register_command("realize", cmd_realize)
+    wafe.register_command("setValues", cmd_set_values)
+    wafe.register_command("getValue", cmd_get_value)
+    wafe.register_command("getValues", cmd_get_values)
+    wafe.register_command("mergeResources", cmd_merge_resources)
+    wafe.register_command("action", cmd_action)
+    wafe.register_command("callback", cmd_callback)
+    wafe.register_command("addCallback", cmd_add_callback)
+    wafe.register_command("applicationShell", cmd_application_shell)
+    wafe.register_command("wafeVersion", cmd_wafe_version)
+    wafe.register_command("widgetTree", cmd_widget_tree)
+    wafe.register_command("widgetExists", cmd_widget_exists)
+    wafe.register_command("sync", cmd_sync)
+    wafe.register_command("getChannel", cmd_get_channel)
+    wafe.register_command("setCommunicationVariable",
+                          cmd_set_communication_variable)
+    wafe.register_command("sendToApplication", cmd_send_to_application)
+    wafe.register_command("setPrefix", cmd_set_prefix)

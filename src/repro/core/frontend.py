@@ -1,0 +1,210 @@
+"""Frontend mode: the application program runs as a child of Wafe.
+
+Implements the paper's process model (Figure 4, left): the application
+is spawned with its stdio channels cross-connected to the frontend --
+Wafe reads the application's stdout looking for ``%``-prefixed command
+lines, and callbacks ``echo`` plain strings into the application's
+stdin.  An optional *mass transfer* pipe carries bulk data with no
+parsing.
+
+The program to launch comes either from an explicit argument or from
+the paper's naming scheme: when Wafe is invoked through a link named
+``xfoo``, the backend program ``foo`` is spawned.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+from repro.tcl.errors import TclError
+from repro.core.channel import (
+    DEFAULT_MAX_LINE,
+    DEFAULT_PREFIX,
+    LineParser,
+    LineTooLong,
+    MassTransferState,
+)
+
+
+def backend_for_invocation(invoked_as):
+    """The symlink naming scheme: ``xwafeApp`` runs ``wafeApp``."""
+    base = os.path.basename(invoked_as)
+    if base.startswith("x") and base not in ("xwafe", "xmofe"):
+        return base[1:]
+    return None
+
+
+class Frontend:
+    """Owns the backend subprocess and its channels."""
+
+    def __init__(self, wafe, program, program_args=None,
+                 prefix=DEFAULT_PREFIX, max_line=DEFAULT_MAX_LINE,
+                 passthrough=None):
+        self.wafe = wafe
+        self.program = program
+        self.parser = LineParser(prefix, max_line)
+        self.mass_state = None
+        self._mass_read = None
+        self._mass_child_fd = None
+        self._mass_input_id = None
+        self.passthrough = passthrough  # callable(str) for non-command lines
+        self.closed = False
+        self.eof_seen = False
+        command = self._resolve_command(program, program_args or [])
+        # The mass channel exists from the start so getChannel can
+        # report a stable fd number to the application.
+        self._mass_read, self._mass_child_fd = os.pipe()
+        os.set_inheritable(self._mass_child_fd, True)
+        os.set_blocking(self._mass_read, False)
+        self.process = subprocess.Popen(
+            command,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,
+            close_fds=True,
+            pass_fds=(self._mass_child_fd,),
+        )
+        os.set_blocking(self.process.stdout.fileno(), False)
+        self._input_id = wafe.app.add_input(self.process.stdout,
+                                            self._on_readable)
+        wafe.frontend = self
+        self._send_init_com()
+
+    @staticmethod
+    def _resolve_command(program, program_args):
+        if isinstance(program, (list, tuple)):
+            return list(program) + list(program_args)
+        path = shutil.which(program) or program
+        if not os.path.exists(path):
+            raise TclError('cannot find application program "%s"' % program)
+        return [path] + list(program_args)
+
+    def _send_init_com(self):
+        """The InitCom resource: an initial command for the backend
+        (e.g. a Prolog startup goal), sent right after the fork."""
+        value = self.wafe.app.database.query(
+            [self.wafe.app.app_name, "initCom"],
+            [self.wafe.app.app_class, "InitCom"])
+        if value:
+            self.send(value + "\n")
+
+    # ------------------------------------------------------------------
+    # Application -> frontend
+
+    def _on_readable(self, fileobj):
+        try:
+            data = os.read(fileobj.fileno(), 65536)
+        except (OSError, ValueError):
+            data = b""
+        if not data:
+            self._handle_eof()
+            return
+        try:
+            lines = self.parser.split_lines(data)
+        except LineTooLong as err:
+            self.wafe.report_error(str(err))
+            return
+        # Classify lazily, one line at a time: a %setPrefix command
+        # affects the classification of the very next line.
+        for raw in lines:
+            kind, line = self.parser.classify(raw)
+            if kind == "command":
+                self.wafe.run_command_line(line)
+            else:
+                self._passthrough(line)
+
+    def _passthrough(self, line):
+        if self.passthrough is not None:
+            self.passthrough(line)
+        else:
+            sys.stdout.write(line + "\n")
+            sys.stdout.flush()
+
+    def _handle_eof(self):
+        """Backend closed its stdout: detach and end the main loop."""
+        if self.eof_seen:
+            return
+        self.eof_seen = True
+        self.wafe.app.remove_input(self._input_id)
+        self.wafe.app.exit_loop()
+
+    # ------------------------------------------------------------------
+    # Frontend -> application
+
+    def send(self, text):
+        if self.closed or self.process.stdin is None:
+            return
+        try:
+            self.process.stdin.write(text.encode("utf-8", "replace"))
+            self.process.stdin.flush()
+        except (BrokenPipeError, OSError, ValueError):
+            self._handle_eof()
+
+    # ------------------------------------------------------------------
+    # Mass transfer channel
+
+    def mass_channel_fd(self):
+        """The fd number the *application* writes to ("listening on 5")."""
+        return self._mass_child_fd
+
+    def set_communication_variable(self, var_name, limit, script):
+        self.mass_state = MassTransferState(var_name, limit, script)
+        if self._mass_input_id is None:
+            # Wrap the raw fd so select() can watch it.
+            self._mass_file = os.fdopen(self._mass_read, "rb", buffering=0,
+                                        closefd=False)
+            self._mass_input_id = self.wafe.app.add_input(
+                self._mass_file, self._on_mass_readable)
+
+    def _on_mass_readable(self, fileobj):
+        try:
+            data = os.read(self._mass_read, 65536)
+        except (BlockingIOError, OSError):
+            return
+        if not data or self.mass_state is None:
+            return
+        done = self.mass_state.feed(data)
+        if done is not None:
+            payload, leftover = done
+            state = self.mass_state
+            self.mass_state = None
+            self.wafe.interp.set_var(
+                state.var_name, payload.decode("utf-8", "replace"))
+            self.wafe.run_command_line(state.completion_script)
+            if leftover:
+                self.mass_state = MassTransferState(
+                    state.var_name, len(leftover), "")  # keep remainder
+                self.mass_state.feed(leftover)
+
+    # ------------------------------------------------------------------
+
+    def wait(self, timeout=None):
+        return self.process.wait(timeout=timeout)
+
+    def close(self):
+        if self.closed:
+            return
+        self.closed = True
+        for stream in (self.process.stdin, self.process.stdout):
+            try:
+                if stream is not None:
+                    stream.close()
+            except OSError:
+                pass
+        try:
+            os.close(self._mass_child_fd)
+        except OSError:
+            pass
+        try:
+            os.close(self._mass_read)
+        except OSError:
+            pass
+        if self.process.poll() is None:
+            try:
+                self.process.terminate()
+                self.process.wait(timeout=2)
+            except (OSError, subprocess.TimeoutExpired):
+                self.process.kill()
+        if self.wafe.frontend is self:
+            self.wafe.frontend = None

@@ -1,0 +1,102 @@
+"""Wafe's three modes of operation: interactive, file, frontend.
+
+* **Interactive mode** -- a single process reading commands from
+  standard input, interpreted as they arrive; the user watches the
+  widget tree being built step by step.
+* **File mode** -- execute a Tcl/Wafe command file (typically started
+  through the ``#!`` magic), then serve events.
+* **Frontend mode** -- spawn the application program as a subprocess
+  and speak the pipe protocol (see :mod:`repro.core.frontend`).
+"""
+
+import sys
+
+from repro.core.frontend import Frontend
+from repro.core.wafe import Wafe
+
+
+def run_file(wafe, path, main_loop=True, max_idle=None):
+    """File mode: execute a script, then enter the main loop."""
+    with open(path, "r") as handle:
+        script = handle.read()
+    if script.startswith("#!"):
+        newline = script.find("\n")
+        script = script[newline + 1 :] if newline >= 0 else ""
+    wafe.interp.script_name = path
+    wafe.run_script(script)
+    if main_loop and not wafe.quit_requested:
+        wafe.main_loop(until=lambda: wafe.quit_requested, max_idle=max_idle)
+    return wafe
+
+
+def run_string(wafe, script, main_loop=False, max_idle=None):
+    """Evaluate a script string (used by tests and the -e option)."""
+    result = wafe.run_script(script)
+    if main_loop and not wafe.quit_requested:
+        wafe.main_loop(until=lambda: wafe.quit_requested, max_idle=max_idle)
+    return result
+
+
+class InteractiveSession:
+    """Interactive mode: stdin lines in, results out.
+
+    The prompt and result echo go to ``output`` (stdout by default); a
+    transcript of (command, result) pairs is kept so the interactive
+    designer example and the benchmarks can inspect the session.
+    """
+
+    def __init__(self, wafe, output=None, prompt="wafe> "):
+        self.wafe = wafe
+        self.output = output if output is not None else sys.stdout
+        self.prompt = prompt
+        self.transcript = []
+        self.wafe.error_sink = self._show_error
+
+    def _show(self, text):
+        self.output.write(text)
+        try:
+            self.output.flush()
+        except (OSError, ValueError):
+            pass
+
+    def _show_error(self, message):
+        self._show("Error: %s\n" % message)
+
+    def execute(self, line):
+        """One interactive command; returns the result string."""
+        line = line.rstrip("\n")
+        if not line.strip():
+            return ""
+        result = self.wafe.run_command_line(line)
+        self.transcript.append((line, result))
+        if result:
+            self._show(result + "\n")
+        # Interactive mode shows effects immediately.
+        self.wafe.app.process_pending()
+        return result or ""
+
+    def run(self, stream=None):
+        """Read-eval loop over a stream (stdin by default)."""
+        stream = stream if stream is not None else sys.stdin
+        for line in stream:
+            self._show(self.prompt)
+            self.execute(line)
+            if self.wafe.quit_requested:
+                break
+        return self.transcript
+
+
+def run_frontend(wafe, program, program_args=None, max_idle=None,
+                 passthrough=None):
+    """Frontend mode: spawn the backend, serve the protocol until it
+    exits or ``quit`` arrives."""
+    frontend = Frontend(wafe, program, program_args,
+                        passthrough=passthrough)
+    wafe.main_loop(until=lambda: wafe.quit_requested, max_idle=max_idle)
+    frontend.close()
+    return frontend
+
+
+def make_wafe(build="athena", display_name=":0", argv=None):
+    """Construct a Wafe instance (one per process in real life)."""
+    return Wafe(build=build, display_name=display_name, argv=argv)

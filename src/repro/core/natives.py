@@ -1,0 +1,368 @@
+"""The native function table behind the generated commands.
+
+Each entry implements one toolkit C function against our Python Xt
+stack; the generated bindings convert arguments and dispatch here.
+This module is deliberately *handwritten* -- it is the 40 % of the
+command layer the paper's generator cannot produce, and the line counts
+of natives+runtime+commands versus the generated bindings reproduce the
+"about 60 % generated" engineering claim.
+
+Contract: ``f(wafe, *converted_ins)``.  Functions whose spec declares
+``out:`` slots return ``(primary, out1, ...)``; a ``None`` primary with
+a Cardinal return type means "use the out list's length".
+"""
+
+from repro.tcl.errors import TclError
+from repro.xt.selection import (
+    disown_selection,
+    get_selection_value,
+    own_selection,
+)
+
+
+def _require(widget, klass, what):
+    if not hasattr(widget, what):
+        raise TclError(
+            'widget "%s" (class %s) does not support this operation'
+            % (widget.name, widget.CLASS_NAME))
+    return getattr(widget, what)
+
+
+# ----------------------------------------------------------------------
+# Xt Intrinsics
+
+
+def xt_destroy_widget(wafe, widget):
+    widget.destroy()
+
+
+def xt_realize_widget(wafe, widget):
+    widget.realize()
+    wafe.app.process_pending()
+
+
+def xt_unrealize_widget(wafe, widget):
+    if widget.window is not None:
+        widget.window.unmap()
+    widget.realized = False
+
+
+def xt_manage_child(wafe, widget):
+    if widget.parent is not None:
+        widget.parent.manage_child(widget)
+
+
+def xt_unmanage_child(wafe, widget):
+    if widget.parent is not None:
+        widget.parent.unmanage_child(widget)
+
+
+def xt_map_widget(wafe, widget):
+    if widget.window is not None:
+        widget.window.map()
+
+
+def xt_unmap_widget(wafe, widget):
+    if widget.window is not None:
+        widget.window.unmap()
+
+
+def xt_set_sensitive(wafe, widget, value):
+    widget.set_sensitive(value)
+
+
+def xt_popup(wafe, shell, grab_kind):
+    if not hasattr(shell, "popup"):
+        raise TclError('widget "%s" is not a shell' % shell.name)
+    shell.popup(grab_kind)
+    wafe.app.process_pending()
+
+
+def xt_popdown(wafe, shell):
+    if not hasattr(shell, "popdown"):
+        raise TclError('widget "%s" is not a shell' % shell.name)
+    shell.popdown()
+    wafe.app.process_pending()
+
+
+def xt_move_widget(wafe, widget, x, y):
+    widget.set_values({"x": str(x), "y": str(y)})
+
+
+def xt_resize_widget(wafe, widget, width, height, border_width):
+    widget.set_values({"width": str(width), "height": str(height),
+                       "borderWidth": str(border_width)})
+
+
+def xt_get_resource_list(wafe, widget):
+    names = [r.name for r in widget.class_resources()]
+    return None, names
+
+
+def xt_add_timeout(wafe, interval_ms, script):
+    def fire():
+        wafe.run_script(script)
+
+    return wafe.app.add_timeout(interval_ms, fire)
+
+
+def xt_remove_timeout(wafe, timeout_id):
+    wafe.app.remove_timeout(timeout_id)
+
+
+def xt_add_work_proc(wafe, script):
+    def work():
+        result = wafe.run_script(script)
+        return result.strip() in ("1", "true", "True", "")
+
+    return wafe.app.add_work_proc(work)
+
+
+def xt_own_selection(wafe, widget, selection, script):
+    def convert(target):
+        return wafe.run_script(script)
+
+    return own_selection(widget, selection, convert)
+
+
+def xt_disown_selection(wafe, widget, selection):
+    disown_selection(widget, selection)
+
+
+def xt_get_selection_value(wafe, widget, selection, target):
+    result = {}
+
+    def done(value):
+        result["value"] = value
+
+    get_selection_value(widget, selection, target, done)
+    return result.get("value") or ""
+
+
+def xt_name_to_widget(wafe, reference, pathname):
+    """XtNameToWidget: '.'-separated names, '*' skips levels."""
+    def search(widget, parts):
+        if not parts:
+            return widget
+        head, rest = parts[0], parts[1:]
+        if head == "*":
+            for child in widget.children:
+                found = search(child, rest)
+                if found is not None:
+                    return found
+                found = search(child, parts)
+                if found is not None:
+                    return found
+            return None
+        for child in widget.children:
+            if child.name == head:
+                return search(child, rest)
+        return None
+
+    parts = [p for p in pathname.replace("*", ".*.").split(".") if p]
+    found = search(reference, parts)
+    if found is None:
+        raise TclError('no widget named "%s" under "%s"'
+                       % (pathname, reference.name))
+    return found
+
+
+def xt_install_accelerators(wafe, destination, source):
+    table = source.resources.get("accelerators")
+    if table is not None:
+        destination.accelerator_bindings.append((table, source))
+
+
+def xt_install_all_accelerators(wafe, destination, root):
+    xt_install_accelerators(wafe, destination, root)
+    for child in root.children:
+        xt_install_all_accelerators(wafe, destination, child)
+
+
+def xt_override_translations(wafe, widget, table_text):
+    wafe.merge_widget_translations(widget, table_text, "override")
+
+
+def xt_augment_translations(wafe, widget, table_text):
+    wafe.merge_widget_translations(widget, table_text, "augment")
+
+
+def xt_bell(wafe, widget, volume):
+    """The simulated server has no speaker; count the beeps."""
+    wafe.bell_count += 1
+
+
+# ----------------------------------------------------------------------
+# Athena
+
+
+def xaw_form_allow_resize(wafe, widget, allow):
+    from repro.xaw import Form
+
+    Form.allow_resize(widget, allow)
+
+
+def xaw_list_change(wafe, widget, items, resize):
+    _require(widget, None, "change_list")(items, resize)
+
+
+def xaw_list_highlight(wafe, widget, index):
+    _require(widget, None, "highlight")(index)
+
+
+def xaw_list_unhighlight(wafe, widget):
+    _require(widget, None, "unhighlight")()
+
+
+def xaw_list_show_current(wafe, widget):
+    current = _require(widget, None, "current")()
+    if current is None:
+        return -1, None
+    return current.list_index, (current.list_index, current.string)
+
+
+def xaw_text_set_insertion_point(wafe, widget, position):
+    _require(widget, None, "set_insertion_point")(position)
+
+
+def xaw_text_get_insertion_point(wafe, widget):
+    return _require(widget, None, "insertion_point")
+
+
+def xaw_text_replace(wafe, widget, start, end, text):
+    string = _require(widget, None, "get_string")()
+    start = max(0, min(start, len(string)))
+    end = max(start, min(end, len(string)))
+    widget.set_string(string[:start] + text + string[end:])
+    widget.set_insertion_point(start + len(text))
+
+
+def xaw_text_set_selection(wafe, widget, start, end):
+    _require(widget, None, "select")(start, end)
+
+
+def xaw_text_get_selection(wafe, widget):
+    return _require(widget, None, "selected_text")()
+
+
+def xaw_scrollbar_set_thumb(wafe, widget, top, shown):
+    _require(widget, None, "set_thumb")(top=top, shown=shown)
+
+
+def xaw_strip_chart_sample(wafe, widget):
+    return _require(widget, None, "sample")()
+
+
+def xaw_viewport_set_coordinates(wafe, widget, x, y):
+    _require(widget, None, "scroll_to")(x=x, y=y)
+
+
+def xaw_dialog_get_value_string(wafe, widget):
+    return widget.get_value_string("value")
+
+
+# ----------------------------------------------------------------------
+# Plotter extension
+
+
+def plotter_set_data(wafe, widget, items):
+    _require(widget, None, "set_data")(items)
+
+
+def plotter_bar_heights(wafe, widget):
+    heights = _require(widget, None, "bar_heights")()
+    return None, [str(h) for h in heights]
+
+
+# ----------------------------------------------------------------------
+# Motif
+
+
+def xm_cascade_button_highlight(wafe, widget, on):
+    _require(widget, None, "highlight")(on)
+
+
+def xm_command_append_value(wafe, widget, text):
+    _require(widget, None, "append_value")(text)
+
+
+def xm_command_set_value(wafe, widget, text):
+    _require(widget, None, "set_value")(text)
+
+
+def xm_command_enter(wafe, widget):
+    return _require(widget, None, "enter_command")()
+
+
+def xm_toggle_button_get_state(wafe, widget):
+    return _require(widget, None, "get_state")()
+
+
+def xm_toggle_button_set_state(wafe, widget, state, notify):
+    _require(widget, None, "set_state")(state, notify=notify)
+
+
+def xm_text_get_string(wafe, widget):
+    return _require(widget, None, "get_string")()
+
+
+def xm_text_set_string(wafe, widget, text):
+    _require(widget, None, "set_string")(text)
+
+
+NATIVE = {
+    "XtDestroyWidget": xt_destroy_widget,
+    "XtRealizeWidget": xt_realize_widget,
+    "XtUnrealizeWidget": xt_unrealize_widget,
+    "XtManageChild": xt_manage_child,
+    "XtUnmanageChild": xt_unmanage_child,
+    "XtMapWidget": xt_map_widget,
+    "XtUnmapWidget": xt_unmap_widget,
+    "XtSetSensitive": xt_set_sensitive,
+    "XtIsSensitive": lambda wafe, w: w.is_sensitive(),
+    "XtIsRealized": lambda wafe, w: w.realized,
+    "XtIsManaged": lambda wafe, w: w.managed,
+    "XtPopup": xt_popup,
+    "XtPopdown": xt_popdown,
+    "XtMoveWidget": xt_move_widget,
+    "XtResizeWidget": xt_resize_widget,
+    "XtGetResourceList": xt_get_resource_list,
+    "XtParent": lambda wafe, w: w.parent,
+    "XtNameToWidget": xt_name_to_widget,
+    "XtName": lambda wafe, w: w.name,
+    "XtBell": xt_bell,
+    "XtAddTimeOut": xt_add_timeout,
+    "XtRemoveTimeOut": xt_remove_timeout,
+    "XtAddWorkProc": xt_add_work_proc,
+    "XtOwnSelection": xt_own_selection,
+    "XtDisownSelection": xt_disown_selection,
+    "XtGetSelectionValue": xt_get_selection_value,
+    "XtInstallAccelerators": xt_install_accelerators,
+    "XtInstallAllAccelerators": xt_install_all_accelerators,
+    "XtOverrideTranslations": xt_override_translations,
+    "XtAugmentTranslations": xt_augment_translations,
+    "XawFormAllowResize": xaw_form_allow_resize,
+    "XawListChange": xaw_list_change,
+    "XawListHighlight": xaw_list_highlight,
+    "XawListUnhighlight": xaw_list_unhighlight,
+    "XawListShowCurrent": xaw_list_show_current,
+    "XawTextSetInsertionPoint": xaw_text_set_insertion_point,
+    "XawTextGetInsertionPoint": xaw_text_get_insertion_point,
+    "XawTextReplace": xaw_text_replace,
+    "XawTextSetSelection": xaw_text_set_selection,
+    "XawTextGetSelection": xaw_text_get_selection,
+    "XawScrollbarSetThumb": xaw_scrollbar_set_thumb,
+    "XawStripChartSample": xaw_strip_chart_sample,
+    "XawViewportSetCoordinates": xaw_viewport_set_coordinates,
+    "XawDialogGetValueString": xaw_dialog_get_value_string,
+    "PlotterSetData": plotter_set_data,
+    "PlotterBarHeights": plotter_bar_heights,
+    "XmCascadeButtonHighlight": xm_cascade_button_highlight,
+    "XmCommandAppendValue": xm_command_append_value,
+    "XmCommandSetValue": xm_command_set_value,
+    "XmCommandEnter": xm_command_enter,
+    "XmToggleButtonGetState": xm_toggle_button_get_state,
+    "XmToggleButtonSetState": xm_toggle_button_set_state,
+    "XmTextGetString": xm_text_get_string,
+    "XmTextSetString": xm_text_set_string,
+}

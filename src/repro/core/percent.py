@@ -1,0 +1,179 @@
+"""Percent-code substitution for actions and callbacks.
+
+Two tables from the paper are implemented exactly:
+
+*Actions* (the ``exec`` action): printf-like codes carrying event
+information.  The valid code/event combinations are the paper's matrix
+-- ``%t`` and the coordinate codes work for all six supported event
+types, ``%b`` only for button events, ``%a``/``%k``/``%s`` only for key
+events.  ``%t`` expands to ``unknown`` for unsupported event types; an
+invalid combination substitutes the empty string ("it is the
+programmer's responsibility to ensure ... a percent code substitution
+occurs only with a valid event type").
+
+*Callbacks*: ``%w`` (the invoking widget's name) is valid everywhere;
+further codes expose the clientData of specific widget classes -- for
+the Athena List callback, ``%i`` (index) and ``%s`` (active element).
+"""
+
+from repro.xlib import keysym as _keysym
+from repro.xlib import xtypes
+
+#: The six event types of the paper's action table.
+SUPPORTED_EVENT_TYPES = (
+    xtypes.ButtonPress, xtypes.ButtonRelease,
+    xtypes.KeyPress, xtypes.KeyRelease,
+    xtypes.EnterNotify, xtypes.LeaveNotify,
+)
+
+_ALL = frozenset(SUPPORTED_EVENT_TYPES)
+_BUTTON = frozenset((xtypes.ButtonPress, xtypes.ButtonRelease))
+_KEY = frozenset((xtypes.KeyPress, xtypes.KeyRelease))
+
+#: code -> set of event types it is valid for (the paper's table).
+ACTION_CODE_EVENTS = {
+    "t": _ALL,
+    "w": _ALL,
+    "b": _BUTTON,
+    "x": _ALL,
+    "y": _ALL,
+    "X": _ALL,
+    "Y": _ALL,
+    "a": _KEY,
+    "k": _KEY,
+    "s": _KEY,
+}
+
+
+def _event_value(code, widget, event):
+    if code == "w":
+        return widget.name
+    if code == "t":
+        return event.type_name if event is not None else "unknown"
+    if event is None:
+        return ""
+    if code == "b":
+        return str(event.button)
+    if code == "x":
+        return str(event.x)
+    if code == "y":
+        return str(event.y)
+    if code == "X":
+        return str(event.x_root)
+    if code == "Y":
+        return str(event.y_root)
+    shifted = bool(event.state & xtypes.ShiftMask)
+    if code == "a":
+        text, __ = _keysym.lookup_string(event.keycode, shifted)
+        return text
+    if code == "k":
+        return str(event.keycode)
+    if code == "s":
+        value = _keysym.keycode_to_keysym(event.keycode, shifted)
+        return _keysym.keysym_to_string(value)
+    return ""
+
+
+def substitute_action(template, widget, event):
+    """Expand the action percent codes in a command template."""
+    out = []
+    i = 0
+    n = len(template)
+    event_type = event.type if event is not None else None
+    while i < n:
+        ch = template[i]
+        if ch != "%" or i + 1 >= n:
+            out.append(ch)
+            i += 1
+            continue
+        code = template[i + 1]
+        if code == "%":
+            out.append("%")
+            i += 2
+            continue
+        valid_for = ACTION_CODE_EVENTS.get(code)
+        if valid_for is None:
+            out.append(ch)
+            i += 1
+            continue
+        if code == "t" and event_type not in _ALL:
+            out.append("unknown")
+        elif event_type in valid_for:
+            out.append(_event_value(code, widget, event))
+        else:
+            pass  # invalid combination: empty substitution
+        i += 2
+    return "".join(out)
+
+
+#: (class name, callback resource) -> {code: extractor(widget, call_data)}
+#: The List entry is the paper's third table.
+CALLBACK_CODES = {
+    ("List", "callback"): {
+        "i": lambda w, d: str(d.list_index),
+        "s": lambda w, d: d.string,
+    },
+    ("Toggle", "callback"): {
+        "s": lambda w, d: "" if d is None else str(d),
+    },
+    ("Scrollbar", "jumpProc"): {
+        "v": lambda w, d: "%g" % d,
+    },
+    ("Scrollbar", "scrollProc"): {
+        "v": lambda w, d: str(d),
+    },
+    ("XmToggleButton", "valueChangedCallback"): {
+        "v": lambda w, d: "1" if d else "0",
+    },
+    ("XmCommand", "commandEnteredCallback"): {
+        "v": lambda w, d: "" if d is None else str(d),
+    },
+    ("XmCommand", "commandChangedCallback"): {
+        "v": lambda w, d: "" if d is None else str(d),
+    },
+    ("XmText", "valueChangedCallback"): {
+        "v": lambda w, d: "" if d is None else str(d),
+    },
+}
+
+
+def callback_codes_for(widget, resource_name):
+    """The percent codes valid for a widget class's callback resource,
+    walking up the class hierarchy like the reference manual does."""
+    for klass in type(widget).__mro__:
+        name = klass.__dict__.get("CLASS_NAME")
+        if name is None:
+            continue
+        table = CALLBACK_CODES.get((name, resource_name))
+        if table is not None:
+            return table
+    return {}
+
+
+def substitute_callback(template, widget, resource_name, call_data):
+    """Expand callback percent codes (%w plus class-specific ones)."""
+    codes = callback_codes_for(widget, resource_name)
+    out = []
+    i = 0
+    n = len(template)
+    while i < n:
+        ch = template[i]
+        if ch != "%" or i + 1 >= n:
+            out.append(ch)
+            i += 1
+            continue
+        code = template[i + 1]
+        if code == "%":
+            out.append("%")
+        elif code == "w":
+            out.append(widget.name)
+        elif code in codes and call_data is not None:
+            out.append(codes[code](widget, call_data))
+        elif code in codes:
+            pass  # no clientData available: empty
+        else:
+            out.append(ch)
+            i += 1
+            continue
+        i += 2
+    return "".join(out)

@@ -1,0 +1,75 @@
+"""The predefined callback functions (the paper's first table).
+
+These are the special-purpose callbacks bound with the ``callback``
+command, all concerned with popup shells::
+
+    callback b armCallback none popup
+
+| name            | behaviour                              |
+|-----------------|----------------------------------------|
+| none            | realize shell, grab none               |
+| exclusive       | realize shell, grab exclusive          |
+| nonexclusive    | realize shell, grab nonexclusive       |
+| popdown         | unrealize shell                        |
+| position        | position shell                         |
+| positionCursor  | position shell under pointer           |
+"""
+
+from repro.tcl.errors import TclError
+from repro.xt.shell import GRAB_EXCLUSIVE, GRAB_NONE, GRAB_NONEXCLUSIVE
+
+
+def _shell_arg(wafe, args, name):
+    if not args:
+        raise TclError(
+            'predefined callback "%s" needs a shell widget argument' % name)
+    shell = wafe.lookup_widget(args[0])
+    if not hasattr(shell, "popup"):
+        raise TclError('widget "%s" is not a shell' % args[0])
+    return shell
+
+
+def _popup_with(grab_kind):
+    def predefined(wafe, widget, args, call_data):
+        shell = _shell_arg(wafe, args, grab_kind)
+        shell.popup(grab_kind)
+        wafe.app.process_pending()
+
+    return predefined
+
+
+def _popdown(wafe, widget, args, call_data):
+    shell = _shell_arg(wafe, args, "popdown")
+    shell.popdown()
+    wafe.app.process_pending()
+
+
+def _position(wafe, widget, args, call_data):
+    shell = _shell_arg(wafe, args, "position")
+    if len(args) >= 3:
+        try:
+            x, y = int(args[1]), int(args[2])
+        except ValueError:
+            raise TclError("position needs integer coordinates")
+    else:
+        # Default: below the invoking widget.
+        ox, oy = (widget.window.absolute_origin()
+                  if widget.window is not None else (0, 0))
+        x = ox
+        y = oy + (widget.window.height if widget.window is not None else 0)
+    shell.move_to(x, y)
+
+
+def _position_cursor(wafe, widget, args, call_data):
+    shell = _shell_arg(wafe, args, "positionCursor")
+    shell.position_under_cursor()
+
+
+PREDEFINED_CALLBACKS = {
+    "none": _popup_with(GRAB_NONE),
+    "exclusive": _popup_with(GRAB_EXCLUSIVE),
+    "nonexclusive": _popup_with(GRAB_NONEXCLUSIVE),
+    "popdown": _popdown,
+    "position": _position,
+    "positionCursor": _position_cursor,
+}

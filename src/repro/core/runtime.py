@@ -1,0 +1,96 @@
+"""Runtime helpers for the generated command bindings.
+
+The generated code (see :mod:`repro.codegen.emitter`) only ever calls
+these helpers: string->type conversions with Tcl-style error messages,
+type->string result conversions, and the paper's conventions for
+multi-value returns -- a Tcl *list variable* for C list-plus-length
+pairs and a Tcl *associative array* for C structs ("The Wafe
+counterparts of these functions take a name of a Tcl associative array
+as an argument (instead of a pointer) and create entries ...
+corresponding to the C-structure's components").
+"""
+
+from repro.tcl.errors import TclError
+from repro.tcl.lists import list_to_string, string_to_list
+from repro.xt.shell import GRAB_EXCLUSIVE, GRAB_NONE, GRAB_NONEXCLUSIVE
+
+
+def to_boolean(value):
+    lowered = value.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise TclError('expected boolean value but got "%s"' % value)
+
+
+def to_int(value):
+    try:
+        return int(value.strip(), 0)
+    except ValueError:
+        raise TclError('expected integer but got "%s"' % value)
+
+
+def to_float(value):
+    try:
+        return float(value.strip())
+    except ValueError:
+        raise TclError('expected floating-point number but got "%s"' % value)
+
+
+def to_list(value):
+    return string_to_list(value)
+
+
+def to_grab_kind(value):
+    lowered = value.strip().lower()
+    if lowered in (GRAB_NONE, GRAB_NONEXCLUSIVE, GRAB_EXCLUSIVE):
+        return lowered
+    raise TclError(
+        'bad grab kind "%s": must be none, nonexclusive, or exclusive'
+        % value)
+
+
+def from_void(value):
+    return ""
+
+
+def from_boolean(value):
+    return "1" if value else "0"
+
+
+def from_int(value):
+    return str(int(value))
+
+
+def from_float(value):
+    from repro.tcl.expr import format_number
+
+    return format_number(float(value))
+
+
+def from_string(value):
+    return "" if value is None else str(value)
+
+
+def from_widget(value):
+    if value is None:
+        return ""
+    return getattr(value, "name", str(value))
+
+
+def set_list_var(wafe, var_name, items):
+    """Return-a-list convention: Tcl list into the named variable."""
+    wafe.interp.set_var(var_name, list_to_string(items))
+
+
+def set_struct_var(wafe, var_name, values, fields):
+    """Return-a-struct convention: entries in a Tcl associative array.
+
+    Only the supported members are created; the paper notes Wafe does
+    not mirror meaningless C members (display pointers and the like).
+    """
+    if values is None:
+        return
+    for field, value in zip(fields, values):
+        wafe.interp.set_var(var_name, from_string(value), index=field)

@@ -1,0 +1,305 @@
+"""Wafe itself: Tcl + (Intrinsics + Widgets + Converters + Ext) +
+(Memory Management + Communication).
+
+The class wires together the formula from the paper: a Tcl interpreter
+hosts the command language; the generated toolkit commands (from the
+codegen specs) and the handwritten irregular commands are registered on
+top; the Callback converter, the ``exec`` action and the percent-code
+machinery link widgets back to Tcl; widget names index a registry whose
+entries die with their widgets (the memory-management component); and
+``echo`` output goes to the communication channel when a backend
+application is attached.
+"""
+
+from repro import codegen
+from repro.tcl import Interp
+from repro.tcl.errors import TclError
+from repro.xt import ApplicationShell, XtAppContext
+from repro.xt.callbacks import CallbackList
+from repro.xt.translations import merge_tables, parse_translation_table
+from repro.xt import resources as R
+from repro.core import commands as _commands
+from repro.core.percent import substitute_action, substitute_callback
+from repro.core.predefined import PREDEFINED_CALLBACKS
+
+VERSION = "0.93-repro"
+
+_BUILD_CLASS_TABLES = {}
+
+
+def _class_table(build):
+    table = _BUILD_CLASS_TABLES.get(build)
+    if table is None:
+        if build == "athena":
+            from repro.xaw import ATHENA_CLASSES, PLOTTER_CLASSES
+
+            table = dict(ATHENA_CLASSES)
+            table.update(PLOTTER_CLASSES)
+        elif build == "motif":
+            from repro.motif import MOTIF_CLASSES
+
+            table = dict(MOTIF_CLASSES)
+        else:
+            raise ValueError("unknown Wafe build %r" % build)
+        _BUILD_CLASS_TABLES[build] = table
+    return table
+
+
+_GENERATED_CACHE = {}
+
+
+def _generated_commands(build):
+    commands = _GENERATED_CACHE.get(build)
+    if commands is None:
+        commands, __ = codegen.compile_commands(build)
+        _GENERATED_CACHE[build] = commands
+    return commands
+
+
+class Wafe:
+    """One frontend instance (one "Wafe binary" in the paper's terms)."""
+
+    def __init__(self, build="athena", app_name=None, display_name=":0",
+                 argv=None):
+        self.build = build
+        if app_name is None:
+            app_name = "wafe" if build == "athena" else "mofe"
+        app_class = "Wafe" if build == "athena" else "Mofe"
+        self.interp = Interp()
+        self.app = XtAppContext(app_name, app_class, display_name)
+        self.app.widget_destroyed = self._widget_destroyed
+        self.classes = _class_table(build)
+        self.widgets = {}
+        self.bell_count = 0
+        self.frontend = None       # set in frontend mode
+        self.quit_requested = False
+        self.error_sink = None     # callable(str) for reporting errors
+        self.interp.write_output = self._tcl_output
+        # The automatically created top level shell of every Wafe program.
+        self.top_level = ApplicationShell("topLevel", None, app=self.app)
+        self.widgets["topLevel"] = self.top_level
+        self._register_converters()
+        self._register_commands()
+        self.app.register_action("exec", self._exec_action)
+        if argv:
+            self._apply_xt_arguments(argv)
+
+    # ------------------------------------------------------------------
+    # Setup
+
+    def _register_converters(self):
+        registry = self.app.converters
+        registry.register(R.R_CALLBACK, self._convert_callback,
+                          lambda w, v: getattr(v, "source", ""))
+        registry.register(R.R_XMSTRING, lambda w, v: v,
+                          lambda w, v: getattr(v, "source", str(v)))
+        registry.register(R.R_FONT_LIST, lambda w, v: v,
+                          lambda w, v: getattr(v, "source", str(v)))
+
+    def _register_commands(self):
+        for name, func in _generated_commands(self.build):
+            self.interp.register(name, self._bind(func))
+        _commands.register(self)
+        # The convenience alias pair the paper documents.
+        self.interp.commands["sV"] = self.interp.commands["setValues"]
+        self.interp.commands["gV"] = self.interp.commands["getValue"]
+
+    def _bind(self, func):
+        def command(interp, argv, _func=func, _wafe=self):
+            return _func(_wafe, argv)
+
+        return command
+
+    def register_command(self, name, func):
+        """Register ``func(wafe, argv) -> str`` as a Wafe command."""
+        self.interp.register(name, self._bind(func))
+
+    def _apply_xt_arguments(self, argv):
+        """Interpret standard X Toolkit arguments (-display, -xrm...)."""
+        i = 0
+        while i < len(argv):
+            arg = argv[i]
+            if arg == "-display" and i + 1 < len(argv):
+                self.app.default_display = self.app.use_display(argv[i + 1])
+                i += 2
+            elif arg == "-xrm" and i + 1 < len(argv):
+                self.app.merge_resources(argv[i + 1])
+                i += 2
+            elif arg in ("-name", "-title") and i + 1 < len(argv):
+                if arg == "-name":
+                    self.app.app_name = argv[i + 1]
+                i += 2
+            else:
+                i += 1
+
+    # ------------------------------------------------------------------
+    # Widget registry ("widgets are referenced by name")
+
+    def lookup_widget(self, name):
+        widget = self.widgets.get(name)
+        if widget is None:
+            raise TclError('no such widget "%s"' % name)
+        return widget
+
+    def _widget_destroyed(self, widget):
+        # The memory-management component: a destroyed widget's name
+        # binding and converted resources are disposed of.
+        if self.widgets.get(widget.name) is widget:
+            del self.widgets[widget.name]
+
+    def create_widget(self, class_name, argv):
+        """The shared implementation of all creation commands.
+
+        ``argv`` is ``[cmd, name, parent, ?-unmanaged?, attr, value ...]``.
+        """
+        klass = self.classes.get(class_name)
+        if klass is None:
+            raise TclError(
+                'widget class "%s" is not configured into this Wafe binary'
+                % class_name)
+        if len(argv) < 3:
+            raise TclError(
+                'wrong # args: should be "%s name parent '
+                '?attr value ...?"' % argv[0])
+        name, parent_name = argv[1], argv[2]
+        if name in self.widgets:
+            raise TclError('widget "%s" already exists' % name)
+        rest = argv[3:]
+        managed = True
+        if rest and rest[0] in ("-unmanaged", "unmanaged"):
+            managed = False
+            rest = rest[1:]
+        if len(rest) % 2 != 0:
+            raise TclError(
+                "attribute list must have an even number of elements")
+        args = {rest[i]: rest[i + 1] for i in range(0, len(rest), 2)}
+        parent = self.lookup_widget(parent_name)
+        widget = klass(name, parent, args=args, managed=managed)
+        self.widgets[name] = widget
+        if parent.realized and managed and not getattr(widget, "is_popup",
+                                                       False):
+            widget.realize()
+        return name
+
+    def create_application_shell(self, name, display_name, args):
+        """``applicationShell top2 dec4:0``: a shell on another display."""
+        if name in self.widgets:
+            raise TclError('widget "%s" already exists' % name)
+        display = self.app.use_display(display_name)
+        shell = ApplicationShell(name, None, args=args, app=self.app)
+        shell._display = display
+        self.widgets[name] = shell
+        return name
+
+    # ------------------------------------------------------------------
+    # Scripts, callbacks, actions
+
+    def run_script(self, script):
+        """Evaluate a Tcl/Wafe script; TclError propagates."""
+        return self.interp.eval(script)
+
+    def run_command_line(self, line):
+        """Evaluate one line, reporting errors instead of raising.
+
+        This is the tolerant entry point used for interactive input and
+        for command lines arriving from the backend application.
+        """
+        try:
+            return self.run_script(line)
+        except TclError as err:
+            self.report_error(str(err.result))
+            return None
+
+    def report_error(self, message):
+        if self.error_sink is not None:
+            self.error_sink(message)
+        else:
+            import sys
+
+            sys.stderr.write("wafe: %s\n" % message)
+
+    def _convert_callback(self, widget, value):
+        """The Callback converter: a Tcl command string becomes a
+        callback list entry (percent codes resolved per invocation)."""
+        callback_list = CallbackList()
+        self._add_script_callback(callback_list, value)
+        return callback_list
+
+    def _add_script_callback(self, callback_list, script):
+        def run(widget, call_data, _list=callback_list, _script=script):
+            resource_name = "callback"
+            for key, candidate in widget.resources.items():
+                if candidate is _list:
+                    resource_name = key
+                    break
+            expanded = substitute_callback(_script, widget, resource_name,
+                                           call_data)
+            self.run_command_line(expanded)
+
+        callback_list.add(run, source=script)
+
+    def add_predefined_callback(self, widget, resource_name, func_name,
+                                args):
+        func = PREDEFINED_CALLBACKS.get(func_name)
+        if func is None:
+            raise TclError(
+                'unknown predefined callback "%s": must be one of %s'
+                % (func_name, ", ".join(sorted(PREDEFINED_CALLBACKS))))
+
+        def run(invoking_widget, call_data):
+            func(self, invoking_widget, args, call_data)
+
+        widget.add_callback(resource_name, run,
+                            source="%s %s" % (func_name, " ".join(args)))
+
+    def _exec_action(self, widget, event, args):
+        """The global ``exec`` action: run a Wafe command on any event,
+        with the paper's percent codes expanded from the event."""
+        if not args:
+            return
+        script = substitute_action(args[0], widget, event)
+        self.run_command_line(script)
+
+    def merge_widget_translations(self, widget, table_text, mode):
+        new = parse_translation_table(table_text)
+        new.directive = mode
+        widget.resources["translations"] = merge_tables(
+            widget.resources.get("translations"), new)
+
+    # ------------------------------------------------------------------
+    # Output and lifecycle
+
+    def echo(self, text):
+        """``echo``: to the backend application if attached, else stdout.
+
+        In frontend mode this is how the GUI talks back to the program
+        ("the frontend is programmed ... to send back string messages
+        whenever certain events occur").
+        """
+        if self.frontend is not None:
+            self.frontend.send(text + "\n")
+        else:
+            self.interp.output(text + "\n")
+
+    def _tcl_output(self, text):
+        import sys
+
+        if self.frontend is not None:
+            self.frontend.send(text)
+        else:
+            sys.stdout.write(text)
+            sys.stdout.flush()
+
+    def quit(self):
+        self.quit_requested = True
+        self.app.exit_loop()
+        if self.frontend is not None:
+            self.frontend.close()
+
+    def realize(self, widget=None):
+        target = widget if widget is not None else self.top_level
+        target.realize()
+        self.app.process_pending()
+
+    def main_loop(self, until=None, max_idle=None):
+        self.app.main_loop(until=until, max_idle=max_idle)

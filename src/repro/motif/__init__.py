@@ -1,0 +1,54 @@
+"""OSF/Motif support: compound strings plus the Motif widget classes.
+
+The paper's Motif version of Wafe ("mofe") is a separate binary
+configuration; here the same rule holds -- a Wafe instance is built
+with either the Athena or the Motif class table, never both (the paper:
+"in the current version it is not possible to mix Athena and OSF/Motif
+widgets and converters freely").
+"""
+
+from repro.motif.widgets import (
+    MOTIF_CLASSES,
+    XmCascadeButton,
+    XmCommand,
+    XmLabel,
+    XmPrimitive,
+    XmPushButton,
+    XmRowColumn,
+    XmSeparator,
+    XmText,
+    XmToggleButton,
+)
+from repro.motif.xmstring import (
+    FontList,
+    FontListError,
+    Segment,
+    XmString,
+    draw_xmstring,
+    parse_font_list,
+    parse_xmstring,
+    LEFT_TO_RIGHT,
+    RIGHT_TO_LEFT,
+)
+
+__all__ = [
+    "MOTIF_CLASSES",
+    "FontList",
+    "FontListError",
+    "Segment",
+    "XmString",
+    "draw_xmstring",
+    "parse_font_list",
+    "parse_xmstring",
+    "LEFT_TO_RIGHT",
+    "RIGHT_TO_LEFT",
+    "XmCascadeButton",
+    "XmCommand",
+    "XmLabel",
+    "XmPrimitive",
+    "XmPushButton",
+    "XmRowColumn",
+    "XmSeparator",
+    "XmText",
+    "XmToggleButton",
+]

@@ -1,0 +1,403 @@
+"""The OSF/Motif widget set (the ``mofe`` build of Wafe).
+
+Motif is commercial and closed-source; this module models the
+programmatic surface the paper demonstrates: XmPrimitive shadows,
+XmLabel with compound ``labelString``/``fontList`` resources,
+XmPushButton with ``armCallback`` (the predefined-callback example),
+XmCascadeButton with ``XmCascadeButtonHighlight`` (the code-generator
+example), XmRowColumn, XmToggleButton, XmText, and the XmCommand box
+with ``XmCommandAppendValue``.
+
+Per the paper, Athena and Motif widgets cannot be mixed in one binary:
+Wafe's configuration selects either :data:`repro.xaw.ATHENA_CLASSES` or
+:data:`MOTIF_CLASSES`.
+"""
+
+from repro.tcl.lists import string_to_list
+from repro.xlib import graphics as gfx
+from repro.xt import resources as R
+from repro.xt.resources import res
+from repro.xt.widget import Composite, Widget
+from repro.motif.xmstring import (
+    FontList,
+    draw_xmstring,
+    parse_font_list,
+    parse_xmstring,
+)
+from repro.xlib import fonts as _fonts
+
+
+class XmPrimitive(Widget):
+    CLASS_NAME = "XmPrimitive"
+    RESOURCES = [
+        res("foreground", R.R_PIXEL, "XtDefaultForeground"),
+        res("shadowThickness", R.R_DIMENSION, 2),
+        res("highlightThickness", R.R_DIMENSION, 2),
+        res("highlightColor", R.R_PIXEL, "XtDefaultForeground"),
+        res("topShadowColor", R.R_PIXEL, "#DEDEDE"),
+        res("bottomShadowColor", R.R_PIXEL, "#7E7E7E"),
+        res("traversalOn", R.R_BOOLEAN, True),
+        res("userData", R.R_POINTER, None),
+    ]
+
+    def draw_shadow(self, pressed=False):
+        if self.window is None:
+            return
+        width = self.resources["shadowThickness"]
+        if width <= 0:
+            return
+        top = self.resources["topShadowColor"]
+        bottom = self.resources["bottomShadowColor"]
+        if pressed:
+            top, bottom = bottom, top
+        w, h = self.window.width, self.window.height
+        top_gc = gfx.GC(foreground=top)
+        bottom_gc = gfx.GC(foreground=bottom)
+        gfx.fill_rectangle(self.window, top_gc, 0, 0, w, width)
+        gfx.fill_rectangle(self.window, top_gc, 0, 0, width, h)
+        gfx.fill_rectangle(self.window, bottom_gc, 0, h - width, w, width)
+        gfx.fill_rectangle(self.window, bottom_gc, w - width, 0, width, h)
+
+
+def _default_font_list(widget):
+    return FontList([("FONTLIST_DEFAULT_TAG", _fonts.default_font())])
+
+
+class XmLabel(XmPrimitive):
+    CLASS_NAME = "XmLabel"
+    RESOURCES = [
+        res("labelString", R.R_XMSTRING, None),
+        res("fontList", R.R_FONT_LIST, None),
+        res("alignment", R.R_STRING, "center"),
+        res("marginWidth", R.R_DIMENSION, 2),
+        res("marginHeight", R.R_DIMENSION, 2),
+        res("labelType", R.R_STRING, "string"),
+        res("recomputeSize", R.R_BOOLEAN, True),
+    ]
+
+    def initialize(self):
+        if self.resources.get("fontList") is None:
+            self.resources["fontList"] = _default_font_list(self)
+        if isinstance(self.resources.get("fontList"), str):
+            self.resources["fontList"] = parse_font_list(
+                self.resources["fontList"])
+        self._reparse_label()
+
+    def _reparse_label(self):
+        value = self.resources.get("labelString")
+        if value is None:
+            value = self.name
+        if isinstance(value, str):
+            value = parse_xmstring(value, self.resources["fontList"])
+        self.resources["labelString"] = value
+
+    def set_values_hook(self, old, changed):
+        if "fontList" in changed and isinstance(
+                self.resources.get("fontList"), str):
+            self.resources["fontList"] = parse_font_list(
+                self.resources["fontList"])
+        if "labelString" in changed or "fontList" in changed:
+            self._reparse_label()
+
+    def compound_string(self):
+        return self.resources["labelString"]
+
+    def preferred_size(self):
+        if self.resources["width"] > 0 and self.resources["height"] > 0:
+            return (self.resources["width"], self.resources["height"])
+        xmstring = self.compound_string()
+        font_list = self.resources["fontList"]
+        pad_w = 2 * (self.resources["marginWidth"] +
+                     self.resources["shadowThickness"])
+        pad_h = 2 * (self.resources["marginHeight"] +
+                     self.resources["shadowThickness"])
+        width = self.resources["width"] or xmstring.width(font_list) + pad_w
+        height = self.resources["height"] or \
+            xmstring.height(font_list) + pad_h
+        return (max(1, width), max(1, height))
+
+    def expose(self, event):
+        window = self.window
+        if window is None:
+            return
+        gfx.clear_area(window, pixel=self.resources["background"])
+        xmstring = self.compound_string()
+        font_list = self.resources["fontList"]
+        x = self.resources["marginWidth"] + self.resources["shadowThickness"]
+        baseline = (window.height + xmstring.height(font_list)) // 2 - 2
+        draw_xmstring(window, font_list, xmstring, x, baseline,
+                      self.resources["foreground"],
+                      self.resources["background"])
+
+
+def _arm(widget, event, args):
+    widget.armed = True
+    widget.call_callbacks("armCallback", None)
+    if widget.realized:
+        widget.redraw()
+
+
+def _disarm_activate(widget, event, args):
+    if widget.armed:
+        widget.call_callbacks("activateCallback", None)
+    widget.armed = False
+    widget.call_callbacks("disarmCallback", None)
+    if widget.realized:
+        widget.redraw()
+
+
+class XmPushButton(XmLabel):
+    CLASS_NAME = "XmPushButton"
+    RESOURCES = [
+        res("armCallback", R.R_CALLBACK),
+        res("activateCallback", R.R_CALLBACK),
+        res("disarmCallback", R.R_CALLBACK),
+        res("armColor", R.R_PIXEL, "#B0B0B0"),
+        res("showAsDefault", R.R_BOOLEAN, False),
+    ]
+    ACTIONS = {
+        "Arm": _arm,
+        "Activate": lambda w, e, a: None,
+        "Disarm": _disarm_activate,
+    }
+    DEFAULT_TRANSLATIONS = (
+        "<Btn1Down>: Arm()\n"
+        "<Btn1Up>: Activate() Disarm()\n"
+    )
+
+    def initialize(self):
+        super().initialize()
+        self.armed = False
+
+    def expose(self, event):
+        super().expose(event)
+        self.draw_shadow(pressed=self.armed)
+
+
+class XmCascadeButton(XmPushButton):
+    CLASS_NAME = "XmCascadeButton"
+    RESOURCES = [
+        res("subMenuId", R.R_WIDGET, None),
+        res("cascadingCallback", R.R_CALLBACK),
+        res("mappingDelay", R.R_INT, 180),
+    ]
+
+    def initialize(self):
+        super().initialize()
+        self.highlighted = False
+
+    def highlight(self, on):
+        """XmCascadeButtonHighlight."""
+        self.highlighted = bool(on)
+        if self.realized:
+            self.redraw()
+
+    def expose(self, event):
+        super().expose(event)
+        if self.highlighted and self.window is not None:
+            gc = gfx.GC(foreground=self.resources["highlightColor"])
+            gc.line_width = self.resources["highlightThickness"]
+            gfx.draw_rectangle(self.window, gc, 0, 0, self.window.width,
+                               self.window.height)
+
+
+def _toggle_value_changed(widget, event, args):
+    widget.set_state(not widget.resources["set"], notify=True)
+
+
+class XmToggleButton(XmLabel):
+    CLASS_NAME = "XmToggleButton"
+    RESOURCES = [
+        res("set", R.R_BOOLEAN, False),
+        res("valueChangedCallback", R.R_CALLBACK),
+        res("indicatorOn", R.R_BOOLEAN, True),
+    ]
+    ACTIONS = {"Toggle": _toggle_value_changed}
+    DEFAULT_TRANSLATIONS = "<Btn1Down>: Toggle()\n"
+
+    def get_state(self):
+        """XmToggleButtonGetState."""
+        return bool(self.resources["set"])
+
+    def set_state(self, value, notify=False):
+        """XmToggleButtonSetState."""
+        self.resources["set"] = bool(value)
+        if self.realized:
+            self.redraw()
+        if notify:
+            self.call_callbacks("valueChangedCallback",
+                                self.resources["set"])
+
+
+class XmText(XmPrimitive):
+    CLASS_NAME = "XmText"
+    RESOURCES = [
+        res("value", R.R_STRING, ""),
+        res("editable", R.R_BOOLEAN, True),
+        res("rows", R.R_INT, 1, class_="Rows"),
+        res("columns", R.R_INT, 20, class_="Columns"),
+        res("valueChangedCallback", R.R_CALLBACK),
+        res("activateCallback", R.R_CALLBACK),
+        res("fontList", R.R_FONT_LIST, None),
+    ]
+
+    def initialize(self):
+        if self.resources.get("fontList") is None:
+            self.resources["fontList"] = _default_font_list(self)
+        if isinstance(self.resources.get("fontList"), str):
+            self.resources["fontList"] = parse_font_list(
+                self.resources["fontList"])
+
+    def get_string(self):
+        """XmTextGetString."""
+        return self.resources.get("value") or ""
+
+    def set_string(self, text):
+        """XmTextSetString."""
+        self.resources["value"] = text
+        self.call_callbacks("valueChangedCallback", text)
+        if self.realized:
+            self.redraw()
+
+    def preferred_size(self):
+        if self.resources["width"] > 0 and self.resources["height"] > 0:
+            return (self.resources["width"], self.resources["height"])
+        font = _fonts.default_font()
+        width = self.resources["width"] or \
+            self.resources["columns"] * font.char_width("m")
+        height = self.resources["height"] or \
+            self.resources["rows"] * font.height + 6
+        return (max(1, width), max(1, height))
+
+    def expose(self, event):
+        window = self.window
+        if window is None:
+            return
+        gfx.clear_area(window, pixel=self.resources["background"])
+        font = _fonts.default_font()
+        gc = gfx.GC(foreground=self.resources["foreground"], font=font)
+        y = font.ascent + 3
+        for line in self.get_string().split("\n"):
+            gfx.draw_string(window, gc, 4, y, line)
+            y += font.height
+        self.draw_shadow()
+
+
+class XmRowColumn(Composite):
+    CLASS_NAME = "XmRowColumn"
+    RESOURCES = [
+        res("orientation", R.R_ORIENTATION, "vertical"),
+        res("numColumns", R.R_INT, 1),
+        res("spacing", R.R_DIMENSION, 3),
+        res("marginWidth", R.R_DIMENSION, 3),
+        res("marginHeight", R.R_DIMENSION, 3),
+        res("packing", R.R_STRING, "tight"),
+        res("entryCallback", R.R_CALLBACK),
+    ]
+
+    def layout(self):
+        spacing = self.resources["spacing"]
+        x = self.resources["marginWidth"]
+        y = self.resources["marginHeight"]
+        horizontal = self.resources["orientation"] == "horizontal"
+        for child in self.children:
+            if not child.managed:
+                continue
+            width, height = child.preferred_size()
+            child.resources["x"] = x
+            child.resources["y"] = y
+            child.resources["width"] = width
+            child.resources["height"] = height
+            if child.window is not None:
+                child.window.configure(x=x, y=y, width=max(1, width),
+                                       height=max(1, height))
+            if horizontal:
+                x += width + spacing
+            else:
+                y += height + spacing
+
+    def preferred_size(self):
+        if self.resources["width"] > 0 and self.resources["height"] > 0:
+            return (self.resources["width"], self.resources["height"])
+        self.layout()
+        max_x = max_y = 1
+        for child in self.children:
+            if not child.managed:
+                continue
+            max_x = max(max_x, child.resources["x"] +
+                        child.resources["width"])
+            max_y = max(max_y, child.resources["y"] +
+                        child.resources["height"])
+        return (max_x + self.resources["marginWidth"],
+                max_y + self.resources["marginHeight"])
+
+
+class XmSeparator(XmPrimitive):
+    CLASS_NAME = "XmSeparator"
+    RESOURCES = [
+        res("orientation", R.R_ORIENTATION, "horizontal"),
+        res("separatorType", R.R_STRING, "shadowEtchedIn"),
+    ]
+
+    def preferred_size(self):
+        if self.resources["orientation"] == "horizontal":
+            return (max(10, self.resources["width"]), 4)
+        return (4, max(10, self.resources["height"]))
+
+
+class XmCommand(XmRowColumn):
+    """The Motif command box: prompt, input line, and history."""
+
+    CLASS_NAME = "XmCommand"
+    RESOURCES = [
+        res("command", R.R_STRING, ""),
+        res("historyItems", R.R_LIST, None),
+        res("historyMaxItems", R.R_INT, 100),
+        res("promptString", R.R_XMSTRING, ">"),
+        res("commandEnteredCallback", R.R_CALLBACK),
+        res("commandChangedCallback", R.R_CALLBACK),
+    ]
+
+    def initialize(self):
+        if isinstance(self.resources.get("historyItems"), str):
+            self.resources["historyItems"] = string_to_list(
+                self.resources["historyItems"])
+        if self.resources.get("historyItems") is None:
+            self.resources["historyItems"] = []
+
+    def append_value(self, text):
+        """XmCommandAppendValue: append to the current command line."""
+        self.resources["command"] = (self.resources.get("command") or "") \
+            + text
+        self.call_callbacks("commandChangedCallback",
+                            self.resources["command"])
+
+    def set_value(self, text):
+        """XmCommandSetValue."""
+        self.resources["command"] = text
+        self.call_callbacks("commandChangedCallback", text)
+
+    def enter_command(self):
+        """Commit the current line to the history."""
+        command = self.resources.get("command") or ""
+        history = self.resources["historyItems"]
+        history.append(command)
+        overflow = len(history) - self.resources["historyMaxItems"]
+        if overflow > 0:
+            del history[:overflow]
+        self.call_callbacks("commandEnteredCallback", command)
+        self.resources["command"] = ""
+        return command
+
+
+#: Class name -> widget class for the Motif build of Wafe.
+MOTIF_CLASSES = {
+    "XmLabel": XmLabel,
+    "XmPushButton": XmPushButton,
+    "XmCascadeButton": XmCascadeButton,
+    "XmToggleButton": XmToggleButton,
+    "XmText": XmText,
+    "XmRowColumn": XmRowColumn,
+    "XmSeparator": XmSeparator,
+    "XmCommand": XmCommand,
+}

@@ -1,0 +1,33 @@
+"""A from-scratch Tcl interpreter, the host language of Wafe.
+
+The paper embeds Tcl (Ousterhout's C implementation, circa Tcl 6) as the
+command language of the frontend.  This package reimplements the Tcl the
+paper relies on in pure Python: the full quoting syntax (braces, double
+quotes, command and variable substitution, backslash escapes), the
+``expr`` expression language, procedures with ``uplevel``/``upvar``,
+associative arrays, the list and string command families, and
+introspection via ``info``.
+
+Public entry points:
+
+* :class:`~repro.tcl.interp.Interp` -- an interpreter instance with all
+  built-in commands registered.
+* :class:`~repro.tcl.errors.TclError` -- the error raised for Tcl-level
+  failures (maps onto Tcl's ``TCL_ERROR`` result code).
+* :func:`~repro.tcl.lists.list_to_string` / :func:`~repro.tcl.lists.string_to_list`
+  -- conversion between Python lists and Tcl list syntax.
+"""
+
+from repro.tcl.errors import TclError, TclBreak, TclContinue, TclReturn
+from repro.tcl.interp import Interp
+from repro.tcl.lists import list_to_string, string_to_list
+
+__all__ = [
+    "Interp",
+    "TclError",
+    "TclBreak",
+    "TclContinue",
+    "TclReturn",
+    "list_to_string",
+    "string_to_list",
+]

@@ -1,0 +1,213 @@
+"""Tcl list commands: list, lindex, lrange, lsort, concat, split, join..."""
+
+from repro.tcl.errors import TclError
+from repro.tcl.expr import parse_number
+from repro.tcl.lists import list_to_string, quote_element, string_to_list
+
+
+def _wrong_args(usage):
+    raise TclError('wrong # args: should be "%s"' % usage)
+
+
+def _index(text, length, what="index"):
+    if text == "end":
+        return length - 1
+    try:
+        return int(text)
+    except ValueError:
+        raise TclError('bad %s "%s": must be integer or "end"' % (what, text))
+
+
+def cmd_list(interp, argv):
+    return list_to_string(argv[1:])
+
+
+def cmd_llength(interp, argv):
+    if len(argv) != 2:
+        _wrong_args("llength list")
+    return str(len(string_to_list(argv[1])))
+
+
+def cmd_lindex(interp, argv):
+    if len(argv) != 3:
+        _wrong_args("lindex list index")
+    items = string_to_list(argv[1])
+    index = _index(argv[2], len(items))
+    if 0 <= index < len(items):
+        return items[index]
+    return ""
+
+
+def cmd_lrange(interp, argv):
+    if len(argv) != 4:
+        _wrong_args("lrange list first last")
+    items = string_to_list(argv[1])
+    first = max(0, _index(argv[2], len(items)))
+    last = min(len(items) - 1, _index(argv[3], len(items)))
+    if first > last:
+        return ""
+    return list_to_string(items[first : last + 1])
+
+
+def cmd_lappend(interp, argv):
+    if len(argv) < 2:
+        _wrong_args("lappend varName ?value value ...?")
+    name = argv[1]
+    current = interp.get_var(name) if interp.var_exists(name) else ""
+    pieces = [current] if current else []
+    pieces.extend(quote_element(v) for v in argv[2:])
+    return interp.set_var(name, " ".join(pieces))
+
+
+def cmd_linsert(interp, argv):
+    if len(argv) < 4:
+        _wrong_args("linsert list index element ?element ...?")
+    items = string_to_list(argv[1])
+    index = _index(argv[2], len(items) + 1)
+    index = max(0, min(index, len(items)))
+    return list_to_string(items[:index] + list(argv[3:]) + items[index:])
+
+
+def cmd_lreplace(interp, argv):
+    if len(argv) < 4:
+        _wrong_args("lreplace list first last ?element element ...?")
+    items = string_to_list(argv[1])
+    first = _index(argv[2], len(items))
+    last = _index(argv[3], len(items))
+    if first < 0:
+        first = 0
+    if first >= len(items) and items:
+        raise TclError('list doesn\'t contain element %s' % argv[2])
+    if last < first - 1:
+        last = first - 1
+    return list_to_string(items[:first] + list(argv[4:]) + items[last + 1 :])
+
+
+def cmd_lsearch(interp, argv):
+    from repro.tcl.cmds_string import glob_match
+
+    args = argv[1:]
+    mode = "glob"
+    if args and args[0] in ("-exact", "-glob", "-regexp"):
+        mode = args[0][1:]
+        args = args[1:]
+    if len(args) != 2:
+        _wrong_args("lsearch ?mode? list pattern")
+    items, pattern = string_to_list(args[0]), args[1]
+    for i, item in enumerate(items):
+        if mode == "exact":
+            if item == pattern:
+                return str(i)
+        elif mode == "glob":
+            if glob_match(pattern, item):
+                return str(i)
+        else:
+            import re
+
+            if re.search(pattern, item):
+                return str(i)
+    return "-1"
+
+
+def cmd_lsort(interp, argv):
+    args = argv[1:]
+    mode = "ascii"
+    reverse = False
+    command = None
+    while args and args[0].startswith("-"):
+        flag = args[0]
+        if flag == "-ascii":
+            mode = "ascii"
+        elif flag == "-integer":
+            mode = "integer"
+        elif flag == "-real":
+            mode = "real"
+        elif flag == "-increasing":
+            reverse = False
+        elif flag == "-decreasing":
+            reverse = True
+        elif flag == "-command":
+            if len(args) < 2:
+                raise TclError('"-command" option must be followed by comparison command')
+            command = args[1]
+            args = args[1:]
+        else:
+            raise TclError('bad option "%s"' % flag)
+        args = args[1:]
+    if len(args) != 1:
+        _wrong_args("lsort ?options? list")
+    items = string_to_list(args[0])
+    if command is not None:
+        import functools
+
+        def compare(a, b):
+            result = interp.eval(
+                "%s %s %s" % (command, quote_element(a), quote_element(b))
+            )
+            try:
+                return int(result)
+            except ValueError:
+                raise TclError(
+                    "comparison command returned non-numeric result: %s" % result
+                )
+
+        items.sort(key=functools.cmp_to_key(compare), reverse=reverse)
+    elif mode == "integer":
+        try:
+            items.sort(key=int, reverse=reverse)
+        except ValueError as err:
+            raise TclError("expected integer but got non-integer element: %s" % err)
+    elif mode == "real":
+        try:
+            items.sort(key=float, reverse=reverse)
+        except ValueError as err:
+            raise TclError("expected real but got non-real element: %s" % err)
+    else:
+        items.sort(reverse=reverse)
+    return list_to_string(items)
+
+
+def cmd_concat(interp, argv):
+    pieces = [a.strip() for a in argv[1:] if a.strip() != ""]
+    return " ".join(pieces)
+
+
+def cmd_join(interp, argv):
+    if len(argv) not in (2, 3):
+        _wrong_args("join list ?joinString?")
+    sep = argv[2] if len(argv) == 3 else " "
+    return sep.join(string_to_list(argv[1]))
+
+
+def cmd_split(interp, argv):
+    if len(argv) not in (2, 3):
+        _wrong_args("split string ?splitChars?")
+    text = argv[1]
+    chars = argv[2] if len(argv) == 3 else " \t\n\r"
+    if chars == "":
+        return list_to_string(list(text))
+    pieces = []
+    current = []
+    for ch in text:
+        if ch in chars:
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    pieces.append("".join(current))
+    return list_to_string(pieces)
+
+
+def register(interp):
+    interp.register("list", cmd_list)
+    interp.register("llength", cmd_llength)
+    interp.register("lindex", cmd_lindex)
+    interp.register("lrange", cmd_lrange)
+    interp.register("lappend", cmd_lappend)
+    interp.register("linsert", cmd_linsert)
+    interp.register("lreplace", cmd_lreplace)
+    interp.register("lsearch", cmd_lsearch)
+    interp.register("lsort", cmd_lsort)
+    interp.register("concat", cmd_concat)
+    interp.register("join", cmd_join)
+    interp.register("split", cmd_split)

@@ -1,0 +1,452 @@
+"""String-family commands: string, format, scan, regexp, regsub."""
+
+import re
+
+from repro.tcl.errors import TclError
+from repro.tcl.lists import list_to_string
+
+
+def _wrong_args(usage):
+    raise TclError('wrong # args: should be "%s"' % usage)
+
+
+def glob_match(pattern, text):
+    """Tcl's ``string match`` glob rules: ``*``, ``?``, ``[...]``, ``\\x``."""
+    return _glob(pattern, 0, text, 0)
+
+
+def _glob(pat, pi, text, ti):
+    np, nt = len(pat), len(text)
+    while pi < np:
+        ch = pat[pi]
+        if ch == "*":
+            while pi < np and pat[pi] == "*":
+                pi += 1
+            if pi == np:
+                return True
+            for start in range(ti, nt + 1):
+                if _glob(pat, pi, text, start):
+                    return True
+            return False
+        if ti >= nt:
+            return False
+        if ch == "?":
+            pi += 1
+            ti += 1
+            continue
+        if ch == "[":
+            pi += 1
+            matched = False
+            negate = False
+            if pi < np and pat[pi] == "^":
+                negate = True
+                pi += 1
+            first = True
+            while pi < np and (pat[pi] != "]" or first):
+                first = False
+                lo = pat[pi]
+                if pi + 2 < np and pat[pi + 1] == "-" and pat[pi + 2] != "]":
+                    hi = pat[pi + 2]
+                    if lo <= text[ti] <= hi:
+                        matched = True
+                    pi += 3
+                else:
+                    if text[ti] == lo:
+                        matched = True
+                    pi += 1
+            if pi < np and pat[pi] == "]":
+                pi += 1
+            if matched == negate:
+                return False
+            ti += 1
+            continue
+        if ch == "\\" and pi + 1 < np:
+            pi += 1
+            ch = pat[pi]
+        if text[ti] != ch:
+            return False
+        pi += 1
+        ti += 1
+    return ti == nt
+
+
+def cmd_string(interp, argv):
+    if len(argv) < 3:
+        _wrong_args("string option arg ?arg ...?")
+    option = argv[1]
+    if option == "compare":
+        if len(argv) != 4:
+            _wrong_args("string compare string1 string2")
+        a, b = argv[2], argv[3]
+        return "-1" if a < b else ("1" if a > b else "0")
+    if option == "first":
+        if len(argv) != 4:
+            _wrong_args("string first string1 string2")
+        return str(argv[3].find(argv[2]))
+    if option == "last":
+        if len(argv) != 4:
+            _wrong_args("string last string1 string2")
+        return str(argv[3].rfind(argv[2]))
+    if option == "index":
+        if len(argv) != 4:
+            _wrong_args("string index string charIndex")
+        text = argv[2]
+        try:
+            index = len(text) - 1 if argv[3] == "end" else int(argv[3])
+        except ValueError:
+            raise TclError('expected integer but got "%s"' % argv[3])
+        if 0 <= index < len(text):
+            return text[index]
+        return ""
+    if option == "length":
+        if len(argv) != 3:
+            _wrong_args("string length string")
+        return str(len(argv[2]))
+    if option == "match":
+        if len(argv) != 4:
+            _wrong_args("string match pattern string")
+        return "1" if glob_match(argv[2], argv[3]) else "0"
+    if option == "range":
+        if len(argv) != 5:
+            _wrong_args("string range string first last")
+        text = argv[2]
+        first = 0 if argv[3] == "end" and not text else _str_index(argv[3], text)
+        last = _str_index(argv[4], text)
+        first = max(first, 0)
+        last = min(last, len(text) - 1)
+        if first > last:
+            return ""
+        return text[first : last + 1]
+    if option == "tolower":
+        return argv[2].lower()
+    if option == "toupper":
+        return argv[2].upper()
+    if option in ("trim", "trimleft", "trimright"):
+        chars = argv[3] if len(argv) > 3 else " \t\n\r\f\v"
+        if option == "trim":
+            return argv[2].strip(chars)
+        if option == "trimleft":
+            return argv[2].lstrip(chars)
+        return argv[2].rstrip(chars)
+    if option == "wordend":
+        text = argv[2]
+        index = int(argv[3])
+        if index < 0:
+            index = 0
+        if index >= len(text):
+            return str(len(text))
+        end = index
+        if _is_word_char(text[end]):
+            while end < len(text) and _is_word_char(text[end]):
+                end += 1
+        else:
+            end += 1
+        return str(end)
+    if option == "wordstart":
+        text = argv[2]
+        index = int(argv[3])
+        if index >= len(text):
+            index = len(text) - 1
+        if index < 0:
+            return "0"
+        start = index
+        if _is_word_char(text[start]):
+            while start > 0 and _is_word_char(text[start - 1]):
+                start -= 1
+        return str(start)
+    raise TclError(
+        'bad option "%s": should be compare, first, index, last, length, '
+        "match, range, tolower, toupper, trim, trimleft, trimright, "
+        "wordend, or wordstart" % option
+    )
+
+
+def _is_word_char(ch):
+    return ch.isalnum() or ch == "_"
+
+
+def _str_index(text, string):
+    if text == "end":
+        return len(string) - 1
+    try:
+        return int(text)
+    except ValueError:
+        raise TclError('expected integer but got "%s"' % text)
+
+
+_FORMAT_SPEC = re.compile(r"%(-?[0 +#]*)(\*|\d+)?(?:\.(\*|\d+))?(h|l)?([diouxXcsfeEgG%])")
+
+
+def cmd_format(interp, argv):
+    if len(argv) < 2:
+        _wrong_args("format formatString ?arg arg ...?")
+    template = argv[1]
+    args = list(argv[2:])
+    out = []
+    pos = 0
+    arg_index = 0
+
+    def next_arg():
+        nonlocal arg_index
+        if arg_index >= len(args):
+            raise TclError("not enough arguments for all format specifiers")
+        value = args[arg_index]
+        arg_index += 1
+        return value
+
+    while pos < len(template):
+        ch = template[pos]
+        if ch != "%":
+            out.append(ch)
+            pos += 1
+            continue
+        match = _FORMAT_SPEC.match(template, pos)
+        if match is None:
+            raise TclError('bad field specifier "%s"' % template[pos : pos + 2])
+        flags, width, precision, _size, conv = match.groups()
+        pos = match.end()
+        if conv == "%":
+            out.append("%")
+            continue
+        if width == "*":
+            width = next_arg()
+        if precision == "*":
+            precision = next_arg()
+        spec = "%" + (flags or "") + (width or "")
+        if precision is not None:
+            spec += "." + precision
+        if conv in "diouxX":
+            spec += conv if conv != "i" else "d"
+            raw = next_arg()
+            try:
+                value = int(raw.strip(), 0) if isinstance(raw, str) else int(raw)
+            except ValueError:
+                try:
+                    value = int(float(raw))
+                except ValueError:
+                    raise TclError('expected integer but got "%s"' % raw)
+            if conv == "u" :
+                spec = spec[:-1] + "d"
+                value = value & 0xFFFFFFFF if value < 0 else value
+            out.append(spec % value)
+        elif conv == "c":
+            raw = next_arg()
+            try:
+                out.append((spec + "s") % chr(int(raw)))
+            except ValueError:
+                raise TclError('expected integer but got "%s"' % raw)
+        elif conv == "s":
+            out.append((spec + "s") % next_arg())
+        else:  # f e E g G
+            raw = next_arg()
+            try:
+                value = float(raw)
+            except ValueError:
+                raise TclError('expected floating-point number but got "%s"' % raw)
+            out.append((spec + conv) % value)
+    return "".join(out)
+
+
+def cmd_scan(interp, argv):
+    """A useful subset of ``scan``: %d %x %o %c %s %f %e %g, %*, widths."""
+    if len(argv) < 3:
+        _wrong_args("scan string formatString ?varName varName ...?")
+    string, template = argv[1], argv[2]
+    var_names = argv[3:]
+    si = 0
+    fi = 0
+    assigned = 0
+    var_i = 0
+    n, fn = len(string), len(template)
+    while fi < fn:
+        fc = template[fi]
+        if fc.isspace():
+            while si < n and string[si].isspace():
+                si += 1
+            fi += 1
+            continue
+        if fc != "%":
+            if si < n and string[si] == fc:
+                si += 1
+                fi += 1
+                continue
+            break
+        fi += 1
+        suppress = False
+        if fi < fn and template[fi] == "*":
+            suppress = True
+            fi += 1
+        width = 0
+        while fi < fn and template[fi].isdigit():
+            width = width * 10 + int(template[fi])
+            fi += 1
+        if fi >= fn:
+            raise TclError('bad scan conversion character ""')
+        conv = template[fi]
+        fi += 1
+        if conv != "c":
+            while si < n and string[si].isspace():
+                si += 1
+        if si >= n and conv != "c":
+            break
+        limit = n if width == 0 else min(n, si + width)
+        if conv in "dioux":
+            j = si
+            if j < limit and string[j] in "+-":
+                j += 1
+            digits = "0123456789"
+            base = 10
+            if conv == "o":
+                digits, base = "01234567", 8
+            elif conv == "x":
+                digits, base = "0123456789abcdefABCDEF", 16
+            start_digits = j
+            while j < limit and string[j] in digits:
+                j += 1
+            if j == start_digits:
+                break
+            value = int(string[si:j], base)
+            si = j
+            if not suppress:
+                _scan_assign(interp, var_names, var_i, str(value))
+                var_i += 1
+                assigned += 1
+        elif conv in "fge":
+            match = re.match(r"[+-]?(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?", string[si:limit])
+            if match is None:
+                break
+            value = float(match.group(0))
+            si += match.end()
+            if not suppress:
+                from repro.tcl.expr import format_number
+
+                _scan_assign(interp, var_names, var_i, format_number(value))
+                var_i += 1
+                assigned += 1
+        elif conv == "s":
+            j = si
+            while j < limit and not string[j].isspace():
+                j += 1
+            if j == si:
+                break
+            if not suppress:
+                _scan_assign(interp, var_names, var_i, string[si:j])
+                var_i += 1
+                assigned += 1
+            si = j
+        elif conv == "c":
+            if si >= n:
+                break
+            if not suppress:
+                _scan_assign(interp, var_names, var_i, str(ord(string[si])))
+                var_i += 1
+                assigned += 1
+            si += 1
+        else:
+            raise TclError('bad scan conversion character "%s"' % conv)
+    return str(assigned)
+
+
+def _scan_assign(interp, names, index, value):
+    if index >= len(names):
+        raise TclError("different numbers of variable names and field specifiers")
+    interp.set_var(names[index], value)
+
+
+def _compile_regexp(pattern, nocase):
+    try:
+        return re.compile(pattern, re.IGNORECASE if nocase else 0)
+    except re.error as err:
+        raise TclError("couldn't compile regular expression pattern: %s" % err)
+
+
+def cmd_regexp(interp, argv):
+    args = argv[1:]
+    nocase = False
+    indices = False
+    while args and args[0].startswith("-"):
+        if args[0] == "-nocase":
+            nocase = True
+        elif args[0] == "-indices":
+            indices = True
+        elif args[0] == "--":
+            args = args[1:]
+            break
+        else:
+            break
+        args = args[1:]
+    if len(args) < 2:
+        _wrong_args("regexp ?switches? exp string ?matchVar? ?subMatchVar ...?")
+    pattern, string = args[0], args[1]
+    match_vars = args[2:]
+    match = _compile_regexp(pattern, nocase).search(string)
+    if match is None:
+        return "0"
+    groups = [match.group(0)] + list(match.groups(""))
+    spans = [match.span(0)] + [
+        match.span(i + 1) if match.group(i + 1) is not None else (-1, -2)
+        for i in range(match.re.groups)
+    ]
+    for i, name in enumerate(match_vars):
+        if indices:
+            if i < len(spans):
+                start, stop = spans[i]
+                interp.set_var(name, "%d %d" % (start, stop - 1))
+            else:
+                interp.set_var(name, "-1 -1")
+        else:
+            interp.set_var(name, groups[i] if i < len(groups) else "")
+    return "1"
+
+
+def cmd_regsub(interp, argv):
+    args = argv[1:]
+    nocase = False
+    everywhere = False
+    while args and args[0].startswith("-"):
+        if args[0] == "-nocase":
+            nocase = True
+        elif args[0] == "-all":
+            everywhere = True
+        elif args[0] == "--":
+            args = args[1:]
+            break
+        else:
+            break
+        args = args[1:]
+    if len(args) != 4:
+        _wrong_args("regsub ?switches? exp string subSpec varName")
+    pattern, string, sub_spec, var_name = args
+    regex = _compile_regexp(pattern, nocase)
+
+    def replace(match):
+        out = []
+        i = 0
+        while i < len(sub_spec):
+            ch = sub_spec[i]
+            if ch == "&":
+                out.append(match.group(0))
+            elif ch == "\\" and i + 1 < len(sub_spec):
+                nxt = sub_spec[i + 1]
+                if nxt.isdigit():
+                    idx = int(nxt)
+                    out.append(match.group(idx) or "" if idx <= match.re.groups else "")
+                else:
+                    out.append(nxt)
+                i += 1
+            else:
+                out.append(ch)
+            i += 1
+        return "".join(out)
+
+    result, count = regex.subn(replace, string, count=0 if everywhere else 1)
+    interp.set_var(var_name, result)
+    return str(count)
+
+
+def register(interp):
+    interp.register("string", cmd_string)
+    interp.register("format", cmd_format)
+    interp.register("scan", cmd_scan)
+    interp.register("regexp", cmd_regexp)
+    interp.register("regsub", cmd_regsub)

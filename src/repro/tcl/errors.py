@@ -1,0 +1,59 @@
+"""Tcl result codes and the exceptions that carry them.
+
+Tcl's C API returns ``TCL_OK``, ``TCL_ERROR``, ``TCL_RETURN``,
+``TCL_BREAK`` or ``TCL_CONTINUE`` from every command.  In Python the
+non-OK codes are naturally exceptions; ``catch`` converts them back to
+numeric codes, exactly like the C implementation does.
+"""
+
+
+class TclException(Exception):
+    """Base class for all non-TCL_OK results."""
+
+    code = 1
+
+
+class TclError(TclException):
+    """A Tcl-level error (TCL_ERROR).
+
+    ``result`` is the interpreter result string (the error message);
+    ``errorinfo`` accumulates the Tcl stack trace like the ``errorInfo``
+    global variable in real Tcl.
+    """
+
+    code = 1
+
+    def __init__(self, result, errorinfo=None):
+        super().__init__(result)
+        self.result = result
+        self.errorinfo = errorinfo if errorinfo is not None else result
+
+
+class TclReturn(TclException):
+    """``return`` was invoked (TCL_RETURN)."""
+
+    code = 2
+
+    def __init__(self, result=""):
+        super().__init__(result)
+        self.result = result
+
+
+class TclBreak(TclException):
+    """``break`` was invoked outside the interpreter's control (TCL_BREAK)."""
+
+    code = 3
+
+    def __init__(self):
+        super().__init__("invoked \"break\" outside of a loop")
+        self.result = ""
+
+
+class TclContinue(TclException):
+    """``continue`` was invoked (TCL_CONTINUE)."""
+
+    code = 4
+
+    def __init__(self):
+        super().__init__("invoked \"continue\" outside of a loop")
+        self.result = ""

@@ -1,0 +1,537 @@
+"""The Tcl interpreter: frames, variables, substitution, dispatch.
+
+The design mirrors the C implementation's structure: an interpreter owns
+a command table and a stack of call frames; every command is a callable
+``(interp, argv) -> str`` where ``argv[0]`` is the command name, exactly
+like ``Tcl_CmdProc``.  Variables live in frames and may be scalars,
+associative arrays, or upvar links into another frame.
+"""
+
+import time as _time
+
+from repro.tcl import parser as _parser
+from repro.tcl.errors import TclBreak, TclContinue, TclError, TclReturn
+from repro.tcl.expr import eval_expr, format_number
+
+_SCALAR = 0
+_ARRAY = 1
+_LINK = 2
+
+
+class _Var:
+    __slots__ = ("kind", "value", "traces")
+
+    def __init__(self, kind, value):
+        self.kind = kind
+        self.value = value  # str | dict | (frame, name)
+        self.traces = None  # list of _Trace, lazily created
+
+
+class _Trace:
+    """One ``trace variable`` registration."""
+
+    __slots__ = ("ops", "command", "active")
+
+    def __init__(self, ops, command):
+        self.ops = ops
+        self.command = command
+        self.active = False  # reentrancy guard (Tcl disables a firing trace)
+
+
+class CallFrame:
+    """One level of the Tcl procedure call stack."""
+
+    __slots__ = ("vars", "level", "proc_name", "argv")
+
+    def __init__(self, level, proc_name=None, argv=None):
+        self.vars = {}
+        self.level = level
+        self.proc_name = proc_name
+        self.argv = argv or []
+
+
+class Proc:
+    """A Tcl procedure: formal arguments (with defaults) and a body."""
+
+    __slots__ = ("name", "formals", "body")
+
+    def __init__(self, name, formals, body):
+        self.name = name
+        self.formals = formals  # list of (name, default_or_None)
+        self.body = body
+
+
+def split_varname(name):
+    """Split ``a(b)`` into ``("a", "b")``; plain names give index None."""
+    if name.endswith(")"):
+        paren = name.find("(")
+        if paren >= 0:
+            return name[:paren], name[paren + 1 : -1]
+    return name, None
+
+
+class _ExprEnv:
+    """Adapter giving the expr evaluator access to interpreter state."""
+
+    __slots__ = ("interp",)
+
+    def __init__(self, interp):
+        self.interp = interp
+
+    def substitute_var(self, name, index_parts):
+        index = None
+        if index_parts is not None:
+            index = self.interp._substitute_parts(index_parts)
+        return self.interp.get_var(name, index)
+
+    def eval_script(self, script):
+        return self.interp.eval(script)
+
+
+class Interp:
+    """A Tcl interpreter with all built-in commands registered.
+
+    ``Interp()`` gives plain Tcl; Wafe layers its widget commands on top
+    by calling :meth:`register`.
+    """
+
+    def __init__(self, register_builtins=True):
+        self.commands = {}
+        self.procs = {}
+        self.frames = [CallFrame(0)]
+        self.parse_cache = _parser.ParseCache()
+        self._expr_env = _ExprEnv(self)
+        self.cmd_count = 0
+        self.max_nesting = 120
+        self._nesting = 0
+        # Output hook: ``puts``/``echo`` write through here so embedders
+        # (the Wafe frontend) can redirect output to the backend pipe.
+        self.write_output = None
+        if register_builtins:
+            from repro.tcl import cmds_core, cmds_info, cmds_list, cmds_string
+
+            cmds_core.register(self)
+            cmds_list.register(self)
+            cmds_string.register(self)
+            cmds_info.register(self)
+
+    # ------------------------------------------------------------------
+    # Command table
+
+    def register(self, name, func):
+        """Register a command: ``func(interp, argv) -> str``."""
+        self.commands[name] = func
+
+    def unregister(self, name):
+        self.commands.pop(name, None)
+        self.procs.pop(name, None)
+
+    def rename(self, old, new):
+        if old not in self.commands:
+            raise TclError('can\'t rename "%s": command doesn\'t exist' % old)
+        if new == "":
+            self.commands.pop(old)
+            self.procs.pop(old, None)
+            return
+        if new in self.commands:
+            raise TclError('can\'t rename to "%s": command already exists' % new)
+        self.commands[new] = self.commands.pop(old)
+        if old in self.procs:
+            self.procs[new] = self.procs.pop(old)
+
+    # ------------------------------------------------------------------
+    # Frames and variables
+
+    @property
+    def current_frame(self):
+        return self.frames[-1]
+
+    @property
+    def global_frame(self):
+        return self.frames[0]
+
+    def _resolve(self, frame, name):
+        """Follow upvar links; returns (frame, name)."""
+        seen = 0
+        while True:
+            var = frame.vars.get(name)
+            if var is not None and var.kind == _LINK:
+                frame, name = var.value
+                seen += 1
+                if seen > 100:
+                    raise TclError("too many nested upvar links")
+            else:
+                return frame, name
+
+    def set_var(self, name, value, index=None, frame=None):
+        if index is None:
+            name, index = split_varname(name)
+        if frame is None:
+            frame = self.current_frame
+        frame, name = self._resolve(frame, name)
+        if index is None:
+            # upvar links may point at an array element ("a(k)").
+            name, index = split_varname(name)
+        var = frame.vars.get(name)
+        if index is None:
+            if var is not None and var.kind == _ARRAY:
+                raise TclError('can\'t set "%s": variable is array' % name)
+            if var is not None and var.kind == _SCALAR:
+                var.value = value  # keep traces attached
+            else:
+                var = _Var(_SCALAR, value)
+                frame.vars[name] = var
+        else:
+            if var is None or var.kind != _ARRAY:
+                if var is not None and var.kind == _SCALAR:
+                    if var.value is None:
+                        # Trace-only placeholder: become an array.
+                        var.kind = _ARRAY
+                        var.value = {}
+                    else:
+                        raise TclError(
+                            'can\'t set "%s(%s)": variable isn\'t array'
+                            % (name, index)
+                        )
+                else:
+                    var = _Var(_ARRAY, {})
+                    frame.vars[name] = var
+            var.value[index] = value
+        self._fire_traces(var, name, index, "w")
+        return value
+
+    def get_var(self, name, index=None, frame=None):
+        if index is None:
+            name, index = split_varname(name)
+        if frame is None:
+            frame = self.current_frame
+        frame, name = self._resolve(frame, name)
+        if index is None:
+            name, index = split_varname(name)
+        var = frame.vars.get(name)
+        if var is None:
+            raise TclError('can\'t read "%s": no such variable' % name)
+        self._fire_traces(var, name, index, "r")
+        if index is None:
+            if var.kind == _ARRAY:
+                raise TclError('can\'t read "%s": variable is array' % name)
+            if var.value is None:
+                # A trace-only placeholder: the variable has no value yet.
+                raise TclError('can\'t read "%s": no such variable' % name)
+            return var.value
+        if var.kind != _ARRAY:
+            raise TclError('can\'t read "%s(%s)": variable isn\'t array' % (name, index))
+        if index not in var.value:
+            raise TclError(
+                'can\'t read "%s(%s)": no such element in array' % (name, index)
+            )
+        return var.value[index]
+
+    def var_exists(self, name, index=None, frame=None):
+        if index is None:
+            name, index = split_varname(name)
+        if frame is None:
+            frame = self.current_frame
+        frame, name = self._resolve(frame, name)
+        if index is None:
+            name, index = split_varname(name)
+        var = frame.vars.get(name)
+        if var is None or var.kind == _LINK:
+            return False
+        if var.kind == _SCALAR and var.value is None:
+            return False  # trace-only placeholder
+        if index is None:
+            return True
+        return var.kind == _ARRAY and index in var.value
+
+    def unset_var(self, name, index=None, frame=None):
+        if index is None:
+            name, index = split_varname(name)
+        if frame is None:
+            frame = self.current_frame
+        owner = frame
+        frame, name = self._resolve(frame, name)
+        if index is None:
+            name, index = split_varname(name)
+        var = frame.vars.get(name)
+        if var is None:
+            raise TclError('can\'t unset "%s": no such variable' % name)
+        self._fire_traces(var, name, index, "u")
+        if index is None:
+            del frame.vars[name]
+        else:
+            if var.kind != _ARRAY or index not in var.value:
+                raise TclError(
+                    'can\'t unset "%s(%s)": no such element in array' % (name, index)
+                )
+            del var.value[index]
+        del owner  # links stay; reading through them re-raises no-such-var
+
+    def _fire_traces(self, var, name, index, op):
+        """Run ``trace variable`` commands registered for this op."""
+        if var is None or not var.traces:
+            return
+        for trace in list(var.traces):
+            if op not in trace.ops or trace.active:
+                continue
+            trace.active = True
+            try:
+                from repro.tcl.lists import quote_element
+
+                self.eval("%s %s %s %s" % (
+                    trace.command, quote_element(name),
+                    quote_element(index if index is not None else ""), op))
+            finally:
+                trace.active = False
+
+    def add_trace(self, name, ops, command, frame=None):
+        """``trace variable``: attach a trace (creates the variable slot
+        if needed, like Tcl does for write/unset traces)."""
+        base, index = split_varname(name)
+        if frame is None:
+            frame = self.current_frame
+        frame, base = self._resolve(frame, base)
+        var = frame.vars.get(base)
+        if var is None:
+            var = _Var(_ARRAY if index is not None else _SCALAR,
+                       {} if index is not None else None)
+            frame.vars[base] = var
+        if var.traces is None:
+            var.traces = []
+        var.traces.append(_Trace(ops, command))
+
+    def remove_trace(self, name, ops, command, frame=None):
+        base, __ = split_varname(name)
+        if frame is None:
+            frame = self.current_frame
+        frame, base = self._resolve(frame, base)
+        var = frame.vars.get(base)
+        if var is None or not var.traces:
+            return
+        for trace in list(var.traces):
+            if trace.ops == ops and trace.command == command:
+                var.traces.remove(trace)
+                return
+
+    def trace_info(self, name, frame=None):
+        base, __ = split_varname(name)
+        if frame is None:
+            frame = self.current_frame
+        frame, base = self._resolve(frame, base)
+        var = frame.vars.get(base)
+        if var is None or not var.traces:
+            return []
+        return [(t.ops, t.command) for t in var.traces]
+
+    def link_var(self, local_name, target_frame, target_name):
+        """Implement upvar/global: alias local_name to another frame's var."""
+        self.current_frame.vars[local_name] = _Var(_LINK, (target_frame, target_name))
+
+    def array_of(self, name, frame=None, create=False):
+        """Return the dict behind array ``name`` (or None)."""
+        if frame is None:
+            frame = self.current_frame
+        frame, name = self._resolve(frame, name)
+        var = frame.vars.get(name)
+        if var is None:
+            if not create:
+                return None
+            var = _Var(_ARRAY, {})
+            frame.vars[name] = var
+        if var.kind != _ARRAY:
+            return None
+        return var.value
+
+    def frame_at_level(self, spec):
+        """Resolve a level spec: ``#0`` absolute, digits relative."""
+        if spec.startswith("#"):
+            try:
+                level = int(spec[1:])
+            except ValueError:
+                raise TclError('bad level "%s"' % spec)
+            if not 0 <= level < len(self.frames):
+                raise TclError('bad level "%s"' % spec)
+            return self.frames[level]
+        try:
+            up = int(spec)
+        except ValueError:
+            raise TclError('bad level "%s"' % spec)
+        target = len(self.frames) - 1 - up
+        if target < 0:
+            raise TclError('bad level "%s"' % spec)
+        return self.frames[target]
+
+    # ------------------------------------------------------------------
+    # Substitution and evaluation
+
+    def _substitute_parts(self, parts):
+        if len(parts) == 1:
+            kind, payload = parts[0]
+            if kind == _parser.LITERAL:
+                return payload
+            if kind == _parser.VARSUB:
+                name, index_parts = payload
+                index = (
+                    self._substitute_parts(index_parts)
+                    if index_parts is not None
+                    else None
+                )
+                return self.get_var(name, index)
+            return self.eval(payload)
+        out = []
+        for kind, payload in parts:
+            if kind == _parser.LITERAL:
+                out.append(payload)
+            elif kind == _parser.VARSUB:
+                name, index_parts = payload
+                index = (
+                    self._substitute_parts(index_parts)
+                    if index_parts is not None
+                    else None
+                )
+                out.append(self.get_var(name, index))
+            else:
+                out.append(self.eval(payload))
+        return "".join(out)
+
+    def substitute_word(self, word):
+        return self._substitute_parts(word.parts)
+
+    def eval(self, script):
+        """Evaluate a script string, returning its result string."""
+        self._nesting += 1
+        if self._nesting > self.max_nesting:
+            self._nesting -= 1
+            raise TclError(
+                "too many nested calls to Tcl_Eval (infinite loop?)"
+            )
+        try:
+            result = ""
+            for command in self.parse_cache.get(script):
+                result = self._invoke(command)
+            return result
+        except RecursionError:
+            raise TclError("too many nested calls to Tcl_Eval (infinite loop?)")
+        except TclReturn as ret:
+            # ``return`` at the top level ends the script normally.
+            if self._nesting == 1:
+                return ret.result
+            raise
+        except (TclBreak, TclContinue) as exc:
+            if self._nesting == 1:
+                raise TclError(str(exc))
+            raise
+        finally:
+            self._nesting -= 1
+
+    def _invoke(self, parsed):
+        argv = [self.substitute_word(w) for w in parsed.words]
+        if not argv or argv[0] == "":
+            return ""
+        return self.call(argv)
+
+    def call(self, argv):
+        """Invoke a command given an already-substituted argv."""
+        self.cmd_count += 1
+        func = self.commands.get(argv[0])
+        if func is None:
+            unknown = self.commands.get("unknown")
+            if unknown is not None:
+                return unknown(self, ["unknown"] + argv)
+            raise TclError('invalid command name "%s"' % argv[0])
+        try:
+            result = func(self, argv)
+        except TclError as err:
+            err.errorinfo = '%s\n    while executing\n"%s"' % (
+                err.errorinfo,
+                " ".join(argv)[:150],
+            )
+            self.global_frame.vars["errorInfo"] = _Var(_SCALAR, err.errorinfo)
+            raise
+        return "" if result is None else result
+
+    def eval_expr_string(self, text):
+        """Evaluate an expr string to its Tcl string result."""
+        return format_number(eval_expr(text, self._expr_env))
+
+    def eval_expr_truth(self, text):
+        from repro.tcl.expr import is_true
+
+        try:
+            value = eval_expr(text, self._expr_env)
+        except TclError:
+            # Bare boolean words ("yes", "off", ...) are not expr syntax
+            # but Tcl_ExprBoolean accepts them; mirror that.
+            stripped = text.strip()
+            if stripped and all(c.isalnum() for c in stripped):
+                return is_true(stripped)
+            raise
+        if isinstance(value, str):
+            return is_true(value)
+        return value != 0
+
+    # ------------------------------------------------------------------
+    # Procedures
+
+    def define_proc(self, name, formals, body):
+        self.procs[name] = Proc(name, formals, body)
+        self.commands[name] = _call_proc
+
+    def call_proc(self, proc, argv):
+        frame = CallFrame(len(self.frames), proc_name=proc.name, argv=argv)
+        formals = proc.formals
+        args = argv[1:]
+        i = 0
+        for name, default in formals:
+            if name == "args" and (name, default) == formals[-1]:
+                from repro.tcl.lists import list_to_string
+
+                frame.vars["args"] = _Var(_SCALAR, list_to_string(args[i:]))
+                i = len(args)
+                break
+            if i < len(args):
+                frame.vars[name] = _Var(_SCALAR, args[i])
+                i += 1
+            elif default is not None:
+                frame.vars[name] = _Var(_SCALAR, default)
+            else:
+                raise TclError(
+                    'no value given for parameter "%s" to "%s"' % (name, proc.name)
+                )
+        if i < len(args):
+            raise TclError(
+                'called "%s" with too many arguments' % proc.name
+            )
+        self.frames.append(frame)
+        try:
+            return self.eval(proc.body)
+        except TclReturn as ret:
+            return ret.result
+        except (TclBreak, TclContinue) as exc:
+            raise TclError(str(exc))
+        finally:
+            self.frames.pop()
+
+    # ------------------------------------------------------------------
+    # Misc services
+
+    def output(self, text):
+        """Write program output (used by puts/echo)."""
+        if self.write_output is not None:
+            self.write_output(text)
+        else:
+            print(text, end="")
+
+    def time_script(self, script, count):
+        start = _time.perf_counter()
+        for _ in range(count):
+            self.eval(script)
+        elapsed = _time.perf_counter() - start
+        return int(elapsed * 1e6 / max(count, 1))
+
+
+def _call_proc(interp, argv):
+    proc = interp.procs.get(argv[0])
+    if proc is None:
+        raise TclError('invalid command name "%s"' % argv[0])
+    return interp.call_proc(proc, argv)

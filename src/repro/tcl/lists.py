@@ -1,0 +1,147 @@
+"""Tcl list syntax: conversion between Python lists and Tcl strings.
+
+Tcl has exactly one data type -- the string -- and lists are strings in
+a canonical quoting discipline.  Wafe leans on this heavily: resource
+name lists, callback argument lists and the values handed to Tcl
+associative arrays are all Tcl lists.  ``string_to_list`` implements the
+splitting rules (braces group without substitution, double quotes group
+with backslash processing) and ``list_to_string`` implements Tcl's
+``Tcl_Merge`` quoting so that the round trip is loss-free.
+"""
+
+from repro.tcl.errors import TclError
+from repro.tcl.parser import backslash_char
+
+_WHITESPACE = " \t\n\r\f\v"
+
+
+def string_to_list(text):
+    """Split a Tcl list string into its elements (Python list of str)."""
+    elements = []
+    i = 0
+    n = len(text)
+    while i < n:
+        while i < n and text[i] in _WHITESPACE:
+            i += 1
+        if i >= n:
+            break
+        ch = text[i]
+        if ch == "{":
+            elem, i = _parse_braced(text, i)
+        elif ch == '"':
+            elem, i = _parse_quoted(text, i)
+        else:
+            elem, i = _parse_bare(text, i)
+        elements.append(elem)
+    return elements
+
+
+def _parse_braced(text, pos):
+    depth = 0
+    i = pos
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                if i + 1 < n and text[i + 1] not in _WHITESPACE:
+                    raise TclError(
+                        "list element in braces followed by \"%s\" instead of space"
+                        % text[i + 1]
+                    )
+                return text[pos + 1 : i], i + 1
+        i += 1
+    raise TclError("unmatched open brace in list")
+
+
+def _parse_quoted(text, pos):
+    buf = []
+    i = pos + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\":
+            out, i = backslash_char(text, i)
+            buf.append(out)
+        elif ch == '"':
+            if i + 1 < n and text[i + 1] not in _WHITESPACE:
+                raise TclError(
+                    "list element in quotes followed by \"%s\" instead of space"
+                    % text[i + 1]
+                )
+            return "".join(buf), i + 1
+        else:
+            buf.append(ch)
+            i += 1
+    raise TclError("unmatched open quote in list")
+
+
+def _parse_bare(text, pos):
+    buf = []
+    i = pos
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in _WHITESPACE:
+            break
+        if ch == "\\":
+            out, i = backslash_char(text, i)
+            buf.append(out)
+        else:
+            buf.append(ch)
+            i += 1
+    return "".join(buf), i
+
+
+_NEEDS_QUOTING = frozenset(_WHITESPACE + "{}[]$\";\\")
+
+
+def _braces_balanced(text):
+    depth = 0
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+        i += 1
+    return depth == 0
+
+
+def quote_element(element):
+    """Quote a single string so it parses back as one list element."""
+    if element == "":
+        return "{}"
+    if not any(ch in _NEEDS_QUOTING for ch in element) and element[0] != "#":
+        return element
+    if _braces_balanced(element) and not element.endswith("\\"):
+        return "{" + element + "}"
+    # Fall back to backslash quoting.
+    out = []
+    for ch in element:
+        if ch in _NEEDS_QUOTING or ch == "#":
+            if ch == "\n":
+                out.append("\\n")
+            else:
+                out.append("\\" + ch)
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def list_to_string(elements):
+    """Join Python strings into a canonical Tcl list string."""
+    return " ".join(quote_element(str(e)) for e in elements)

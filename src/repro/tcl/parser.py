@@ -1,0 +1,439 @@
+"""The Tcl script parser.
+
+Tcl's evaluation model parses a script into *commands* (separated by
+newlines or semicolons), each command into *words*, and each word into
+*parts*: literal text, variable substitutions (``$name``,
+``$name(index)``, ``${name}``), and command substitutions (``[...]``).
+Braced words suppress all substitution; double-quoted words allow it but
+group whitespace.  Backslash sequences are resolved at parse time.
+
+The parser is substitution-free: it produces a tree that the interpreter
+walks at evaluation time, so the same parsed body can be re-evaluated
+cheaply (procedure bodies, loop bodies).  A small cache keyed on the
+script string makes repeated ``eval`` of identical strings fast, which
+matters for Wafe where callbacks are Tcl strings evaluated on every
+event.
+"""
+
+from repro.tcl.errors import TclError
+
+# Part kinds.  A word is a list of (kind, payload) tuples.
+LITERAL = "lit"
+VARSUB = "var"  # payload: (name, index_parts_or_None)
+CMDSUB = "cmd"  # payload: script string
+
+
+class Word:
+    """One parsed word: an ordered list of parts plus quoting info."""
+
+    __slots__ = ("parts", "braced")
+
+    def __init__(self, parts, braced=False):
+        self.parts = parts
+        self.braced = braced
+
+    def is_literal(self):
+        return len(self.parts) == 1 and self.parts[0][0] == LITERAL
+
+    def literal_value(self):
+        return self.parts[0][1]
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "Word(%r, braced=%r)" % (self.parts, self.braced)
+
+
+_ESCAPES = {
+    "a": "\a",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "v": "\v",
+}
+
+_VARNAME_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"
+)
+
+
+def backslash_char(script, pos):
+    """Resolve the backslash sequence starting at ``script[pos] == '\\'``.
+
+    Returns ``(text, next_pos)``.  Follows Tcl's rules: named escapes,
+    ``\\xHH`` hex, ``\\ooo`` octal (up to three digits), backslash-newline
+    (plus following whitespace) collapsing to a single space, and any
+    other character standing for itself.
+    """
+    nxt = pos + 1
+    if nxt >= len(script):
+        return "\\", nxt
+    ch = script[nxt]
+    if ch in _ESCAPES:
+        return _ESCAPES[ch], nxt + 1
+    if ch == "\n":
+        end = nxt + 1
+        while end < len(script) and script[end] in " \t":
+            end += 1
+        return " ", end
+    if ch == "x":
+        end = nxt + 1
+        while end < len(script) and script[end] in "0123456789abcdefABCDEF":
+            end += 1
+        if end == nxt + 1:
+            return "x", end
+        # Tcl keeps only the last 8 bits of a long hex escape.
+        return chr(int(script[nxt + 1 : end], 16) & 0xFF), end
+    if ch in "01234567":
+        end = nxt
+        while end < len(script) and end < nxt + 3 and script[end] in "01234567":
+            end += 1
+        return chr(int(script[nxt:end], 8) & 0xFF), end
+    return ch, nxt + 1
+
+
+def _find_matching_bracket(script, pos):
+    """Find the ``]`` matching the ``[`` at ``script[pos]``.
+
+    Tracks nested brackets and skips braced and quoted regions and
+    backslash escapes, mirroring how Tcl's recursive parser would consume
+    the nested script.
+    """
+    depth = 0
+    i = pos
+    n = len(script)
+    while i < n:
+        ch = script[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif ch == "{":
+            i = _skip_braces(script, i)
+            continue
+        elif ch == '"':
+            i = _skip_quotes(script, i)
+            continue
+        i += 1
+    raise TclError('missing close-bracket')
+
+
+def _skip_braces(script, pos):
+    """Return the index just past the brace block starting at ``pos``."""
+    depth = 0
+    i = pos
+    n = len(script)
+    while i < n:
+        ch = script[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    raise TclError("missing close-brace")
+
+
+def _skip_quotes(script, pos):
+    """Return the index just past the quoted region starting at ``pos``."""
+    i = pos + 1
+    n = len(script)
+    while i < n:
+        ch = script[i]
+        if ch == "\\":
+            i += 2
+            continue
+        if ch == '"':
+            return i + 1
+        i += 1
+    raise TclError('missing "')
+
+
+def parse_varsub(script, pos):
+    """Parse the variable substitution at ``script[pos] == '$'``.
+
+    Returns ``(part_or_None, next_pos)``.  ``None`` means the dollar sign
+    did not introduce a substitution (bare ``$``), in which case the
+    caller should treat it as a literal character.
+    """
+    n = len(script)
+    i = pos + 1
+    if i >= n:
+        return None, pos + 1
+    if script[i] == "{":
+        end = script.find("}", i + 1)
+        if end < 0:
+            raise TclError("missing close-brace for variable name")
+        return (VARSUB, (script[i + 1 : end], None)), end + 1
+    start = i
+    while i < n and script[i] in _VARNAME_CHARS:
+        i += 1
+    if i == start:
+        return None, pos + 1
+    name = script[start:i]
+    if i < n and script[i] == "(":
+        # Array reference: the index itself undergoes substitution.
+        depth = 0
+        j = i
+        while j < n:
+            ch = script[j]
+            if ch == "\\":
+                j += 2
+                continue
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        if j >= n:
+            raise TclError("missing )")
+        index_src = script[i + 1 : j]
+        index_parts = _parse_part_string(index_src)
+        return (VARSUB, (name, index_parts)), j + 1
+    return (VARSUB, (name, None)), i
+
+
+def _parse_part_string(text):
+    """Parse a raw string (e.g. an array index) into substitution parts."""
+    parts = []
+    buf = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\":
+            out, i = backslash_char(text, i)
+            buf.append(out)
+        elif ch == "$":
+            part, nxt = parse_varsub(text, i)
+            if part is None:
+                buf.append("$")
+                i = nxt
+            else:
+                if buf:
+                    parts.append((LITERAL, "".join(buf)))
+                    buf = []
+                parts.append(part)
+                i = nxt
+        elif ch == "[":
+            end = _find_matching_bracket(text, i)
+            if buf:
+                parts.append((LITERAL, "".join(buf)))
+                buf = []
+            parts.append((CMDSUB, text[i + 1 : end]))
+            i = end + 1
+        else:
+            buf.append(ch)
+            i += 1
+    if buf or not parts:
+        parts.append((LITERAL, "".join(buf)))
+    return parts
+
+
+def _strip_brace_body(body):
+    """Process backslash-newline inside a braced word.
+
+    Everything else inside braces is literal, but Tcl still collapses
+    backslash-newline sequences to a space so long lines can be wrapped.
+    """
+    if "\\\n" not in body:
+        return body
+    out = []
+    i = 0
+    n = len(body)
+    while i < n:
+        if body[i] == "\\" and i + 1 < n and body[i + 1] == "\n":
+            out.append(" ")
+            i += 2
+            while i < n and body[i] in " \t":
+                i += 1
+        else:
+            out.append(body[i])
+            i += 1
+    return "".join(out)
+
+
+class ParsedCommand:
+    """One command: a sequence of :class:`Word` objects."""
+
+    __slots__ = ("words",)
+
+    def __init__(self, words):
+        self.words = words
+
+
+def parse_script(script):
+    """Parse a full script into a list of :class:`ParsedCommand`."""
+    commands = []
+    pos = 0
+    n = len(script)
+    while pos < n:
+        cmd, pos = _parse_command(script, pos)
+        if cmd is not None and cmd.words:
+            commands.append(cmd)
+    return commands
+
+
+def _parse_command(script, pos):
+    n = len(script)
+    # Skip leading whitespace, separators, and comments.
+    while pos < n:
+        ch = script[pos]
+        if ch in " \t\n;":
+            pos += 1
+        elif ch == "\\" and pos + 1 < n and script[pos + 1] == "\n":
+            pos += 2
+        elif ch == "#":
+            while pos < n and script[pos] != "\n":
+                if script[pos] == "\\" and pos + 1 < n and script[pos + 1] == "\n":
+                    pos += 2
+                else:
+                    pos += 1
+        else:
+            break
+    if pos >= n:
+        return None, pos
+
+    words = []
+    while pos < n:
+        ch = script[pos]
+        if ch in "\n;":
+            pos += 1
+            break
+        if ch in " \t":
+            pos += 1
+            continue
+        if ch == "\\" and pos + 1 < n and script[pos + 1] == "\n":
+            pos += 2
+            continue
+        word, pos = _parse_word(script, pos)
+        words.append(word)
+    return ParsedCommand(words), pos
+
+
+def _parse_word(script, pos):
+    ch = script[pos]
+    if ch == "{":
+        end = _skip_braces(script, pos)
+        body = _strip_brace_body(script[pos + 1 : end - 1])
+        if end < len(script) and script[end] not in " \t\n;":
+            raise TclError("extra characters after close-brace")
+        return Word([(LITERAL, body)], braced=True), end
+    if ch == '"':
+        end = _skip_quotes(script, pos)
+        parts = _parse_part_string_quoted(script, pos + 1, end - 1)
+        if end < len(script) and script[end] not in " \t\n;":
+            raise TclError('extra characters after close-quote')
+        return Word(parts), end
+    return _parse_bare_word(script, pos)
+
+
+def _parse_part_string_quoted(script, start, stop):
+    """Parse the interior of a double-quoted word (substitutions active)."""
+    parts = []
+    buf = []
+    i = start
+    while i < stop:
+        ch = script[i]
+        if ch == "\\":
+            out, i = backslash_char(script, i)
+            buf.append(out)
+        elif ch == "$":
+            part, nxt = parse_varsub(script, i)
+            if part is None:
+                buf.append("$")
+                i = nxt
+            else:
+                if buf:
+                    parts.append((LITERAL, "".join(buf)))
+                    buf = []
+                parts.append(part)
+                i = nxt
+        elif ch == "[":
+            end = _find_matching_bracket(script, i)
+            if buf:
+                parts.append((LITERAL, "".join(buf)))
+                buf = []
+            parts.append((CMDSUB, script[i + 1 : end]))
+            i = end + 1
+        else:
+            buf.append(ch)
+            i += 1
+    if buf or not parts:
+        parts.append((LITERAL, "".join(buf)))
+    return parts
+
+
+def _parse_bare_word(script, pos):
+    parts = []
+    buf = []
+    i = pos
+    n = len(script)
+    while i < n:
+        ch = script[i]
+        if ch in " \t\n;":
+            break
+        if ch == "\\":
+            if i + 1 < n and script[i + 1] == "\n":
+                break  # line continuation ends the word
+            out, i = backslash_char(script, i)
+            buf.append(out)
+        elif ch == "$":
+            part, nxt = parse_varsub(script, i)
+            if part is None:
+                buf.append("$")
+                i = nxt
+            else:
+                if buf:
+                    parts.append((LITERAL, "".join(buf)))
+                    buf = []
+                parts.append(part)
+                i = nxt
+        elif ch == "[":
+            end = _find_matching_bracket(script, i)
+            if buf:
+                parts.append((LITERAL, "".join(buf)))
+                buf = []
+            parts.append((CMDSUB, script[i + 1 : end]))
+            i = end + 1
+        else:
+            buf.append(ch)
+            i += 1
+    if buf or not parts:
+        parts.append((LITERAL, "".join(buf)))
+    return Word(parts), i
+
+
+class ParseCache:
+    """A bounded memo of ``script -> parsed commands``.
+
+    Wafe evaluates the same callback strings over and over; caching the
+    parse avoids re-tokenising on every button press.
+    """
+
+    def __init__(self, maxsize=512):
+        self.maxsize = maxsize
+        self._cache = {}
+
+    def get(self, script):
+        parsed = self._cache.get(script)
+        if parsed is None:
+            parsed = parse_script(script)
+            if len(self._cache) >= self.maxsize:
+                self._cache.clear()
+            self._cache[script] = parsed
+        return parsed
+
+    def clear(self):
+        self._cache.clear()

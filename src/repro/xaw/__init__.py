@@ -1,0 +1,76 @@
+"""The Athena widget set (Xaw), linked with the Xaw3d shadow layer.
+
+``ATHENA_CLASSES`` maps widget-class names to implementations; Wafe
+derives its creation commands from it mechanically (``Label`` ->
+``label``), which is why the registry lives here rather than in the
+frontend: the paper's point is that any Xt widget set plugs in the same
+way (see :mod:`repro.motif` for the OSF/Motif flavour and
+:mod:`repro.xaw.plotter` for the Plotter extension).
+"""
+
+from repro.xaw.buttons import Command, MenuButton, Toggle
+from repro.xaw.form import Box, Dialog, Form, Paned, Viewport
+from repro.xaw.grip import Grip
+from repro.xaw.label import Label
+from repro.xaw.list import List, ListReturn
+from repro.xaw.menus import SimpleMenu, Sme, SmeBSB, SmeLine
+from repro.xaw.plotter import BarGraph, LineGraph
+from repro.xaw.scrollbar import Scrollbar, StripChart
+from repro.xaw.simple import Simple, ThreeD
+from repro.xaw.text import AsciiText
+
+#: Class name -> widget class, used to generate creation commands.
+ATHENA_CLASSES = {
+    "Label": Label,
+    "Command": Command,
+    "Toggle": Toggle,
+    "MenuButton": MenuButton,
+    "Form": Form,
+    "Grip": Grip,
+    "Box": Box,
+    "Paned": Paned,
+    "Viewport": Viewport,
+    "Dialog": Dialog,
+    "List": List,
+    "AsciiText": AsciiText,
+    "Scrollbar": Scrollbar,
+    "StripChart": StripChart,
+    "SimpleMenu": SimpleMenu,
+    "Sme": Sme,
+    "SmeBSB": SmeBSB,
+    "SmeLine": SmeLine,
+}
+
+#: The Plotter extension set (loaded when Wafe is "relinked" with it).
+PLOTTER_CLASSES = {
+    "BarGraph": BarGraph,
+    "LineGraph": LineGraph,
+}
+
+__all__ = [
+    "ATHENA_CLASSES",
+    "PLOTTER_CLASSES",
+    "AsciiText",
+    "BarGraph",
+    "Box",
+    "Command",
+    "Dialog",
+    "Form",
+    "Grip",
+    "Label",
+    "LineGraph",
+    "List",
+    "ListReturn",
+    "MenuButton",
+    "Paned",
+    "Scrollbar",
+    "Simple",
+    "SimpleMenu",
+    "Sme",
+    "SmeBSB",
+    "SmeLine",
+    "StripChart",
+    "ThreeD",
+    "Toggle",
+    "Viewport",
+]

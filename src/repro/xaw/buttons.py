@@ -1,0 +1,172 @@
+"""Command, Toggle, and MenuButton: the Athena button widgets.
+
+Command carries the ``callback`` resource used throughout the paper
+("command hello topLevel callback {echo hello world}").  Its actions
+(set/unset/highlight/reset/notify) and default translations follow the
+Xaw sources, so a synthesized Btn1Down/Btn1Up pair over the widget
+really runs the callback list.
+"""
+
+from repro.xlib import graphics as gfx
+from repro.xt import resources as R
+from repro.xt.resources import res
+from repro.xaw.label import Label
+
+
+def _action_set(widget, event, args):
+    widget.pressed = True
+    if widget.realized:
+        widget.redraw()
+
+
+def _action_unset(widget, event, args):
+    widget.pressed = False
+    if widget.realized:
+        widget.redraw()
+
+
+def _action_reset(widget, event, args):
+    widget.pressed = False
+    widget.highlighted = False
+    if widget.realized:
+        widget.redraw()
+
+
+def _action_highlight(widget, event, args):
+    widget.highlighted = True
+    if widget.realized:
+        widget.redraw()
+
+
+def _action_notify(widget, event, args):
+    if widget.pressed:
+        widget.call_callbacks("callback", None)
+
+
+class Command(Label):
+    CLASS_NAME = "Command"
+    RESOURCES = [
+        res("callback", R.R_CALLBACK),
+        res("highlightThickness", R.R_DIMENSION, 2),
+        res("cornerRoundPercent", R.R_INT, 25),
+        res("shapeStyle", R.R_SHAPE_STYLE, "rectangle"),
+    ]
+    ACTIONS = {
+        "set": _action_set,
+        "unset": _action_unset,
+        "reset": _action_reset,
+        "highlight": _action_highlight,
+        "notify": _action_notify,
+    }
+    DEFAULT_TRANSLATIONS = (
+        "<EnterWindow>: highlight()\n"
+        "<LeaveWindow>: reset()\n"
+        "<Btn1Down>: set()\n"
+        "<Btn1Up>: notify() unset()\n"
+    )
+
+    def initialize(self):
+        super().initialize()
+        self.pressed = False
+        self.highlighted = False
+
+    def expose(self, event):
+        super().expose(event)
+        self.draw_shadow(pressed=self.pressed)
+        if self.highlighted and self.window is not None:
+            gc = gfx.GC(foreground=self.resources["foreground"])
+            gc.line_width = self.resources["highlightThickness"]
+            gfx.draw_rectangle(self.window, gc, 0, 0,
+                               self.window.width, self.window.height)
+
+
+def _toggle_action(widget, event, args):
+    if widget.resources["state"]:
+        widget.set_state(False)
+    else:
+        widget.set_state(True)
+    widget.pressed = True
+
+
+def _toggle_notify(widget, event, args):
+    widget.call_callbacks("callback", widget.resources.get("radioData"))
+    widget.pressed = False
+
+
+class Toggle(Command):
+    """A two-state button; same-radioGroup toggles are exclusive."""
+
+    CLASS_NAME = "Toggle"
+    RESOURCES = [
+        res("state", R.R_BOOLEAN, False),
+        res("radioGroup", R.R_WIDGET, None),
+        res("radioData", R.R_POINTER, None),
+    ]
+    ACTIONS = {
+        "toggle": _toggle_action,
+        "notify": _toggle_notify,
+    }
+    DEFAULT_TRANSLATIONS = (
+        "<EnterWindow>: highlight()\n"
+        "<LeaveWindow>: reset()\n"
+        "<Btn1Down>,<Btn1Up>: toggle() notify()\n"
+    )
+
+    def set_state(self, value, notify=False):
+        value = bool(value)
+        if value:
+            for other in self._radio_members():
+                if other is not self and other.resources["state"]:
+                    other.resources["state"] = False
+                    if other.realized:
+                        other.redraw()
+        self.resources["state"] = value
+        if self.realized:
+            self.redraw()
+        if notify:
+            self.call_callbacks("callback",
+                                self.resources.get("radioData"))
+
+    def _radio_members(self):
+        group = self.resources.get("radioGroup")
+        if group is None or self.parent is None:
+            return []
+        members = []
+        for sibling in self.parent.children:
+            if isinstance(sibling, Toggle) and \
+                    sibling.resources.get("radioGroup") == group:
+                members.append(sibling)
+        return members
+
+    def expose(self, event):
+        self.pressed = bool(self.resources["state"])
+        super().expose(event)
+
+
+def _popup_menu_action(widget, event, args):
+    """The MenuButton's PopupMenu action (an Xt built-in)."""
+    menu_name = args[0] if args else widget.resources.get("menuName")
+    menu = widget.app.find_popup_shell(menu_name, widget)
+    if menu is None:
+        return
+    display = widget.display()
+    if event is not None:
+        menu.move_to(event.x_root, event.y_root)
+    else:
+        menu.move_to(display.pointer_x, display.pointer_y)
+    menu.popup("exclusive")
+
+
+class MenuButton(Command):
+    CLASS_NAME = "MenuButton"
+    RESOURCES = [
+        res("menuName", R.R_STRING, "menu"),
+    ]
+    ACTIONS = {
+        "PopupMenu": _popup_menu_action,
+    }
+    DEFAULT_TRANSLATIONS = (
+        "<EnterWindow>: highlight()\n"
+        "<LeaveWindow>: reset()\n"
+        "<Btn1Down>: set() PopupMenu()\n"
+    )

@@ -1,0 +1,60 @@
+"""The Athena Grip widget and its use by Paned.
+
+A Grip is the small square handle Paned places between panes; dragging
+it with button 1 resizes the pane above.  The widget itself is dumb --
+it only reports GripAction events through its ``callback`` resource
+(with an ``XawGripCallData``-shaped call_data of (action, x, y)); the
+resize logic lives in Paned, as in the Xaw sources.
+"""
+
+from repro.xlib import graphics as gfx
+from repro.xt import resources as R
+from repro.xt.resources import res
+from repro.xaw.simple import ThreeD
+
+
+class GripCallData:
+    """XawGripCallData: what the Grip callback receives."""
+
+    __slots__ = ("action", "x", "y")
+
+    def __init__(self, action, x, y):
+        self.action = action  # "GripAction start/move/commit"
+        self.x = x
+        self.y = y
+
+
+def _grip_action(widget, event, args):
+    action = args[0] if args else "move"
+    x = event.x_root if event is not None else 0
+    y = event.y_root if event is not None else 0
+    widget.call_callbacks("callback", GripCallData(action, x, y))
+
+
+class Grip(ThreeD):
+    CLASS_NAME = "Grip"
+    RESOURCES = [
+        res("callback", R.R_CALLBACK),
+        res("foreground", R.R_PIXEL, "XtDefaultForeground"),
+        res("gripSize", R.R_DIMENSION, 8),
+    ]
+    ACTIONS = {
+        "GripAction": _grip_action,
+    }
+    DEFAULT_TRANSLATIONS = (
+        "<Btn1Down>: GripAction(start)\n"
+        "<BtnMotion>: GripAction(move)\n"
+        "<Btn1Up>: GripAction(commit)\n"
+    )
+
+    def preferred_size(self):
+        size = self.resources["gripSize"]
+        return (size, size)
+
+    def expose(self, event):
+        if self.window is None:
+            return
+        gfx.clear_area(self.window, pixel=self.resources["background"])
+        gc = gfx.GC(foreground=self.resources["foreground"])
+        gfx.fill_rectangle(self.window, gc, 1, 1,
+                           self.window.width - 2, self.window.height - 2)

@@ -1,0 +1,160 @@
+"""The Athena List widget.
+
+Carries the callback whose percent codes the paper tabulates (%w
+widget's name, %i index, %s active element).  Selecting an item -- by
+synthesized click or by the ``Set``/``Notify`` actions -- invokes the
+callback resource with an ``XawListReturnStruct``-shaped call_data of
+``(index, string)``.
+"""
+
+from repro.xlib import graphics as gfx
+from repro.tcl.lists import string_to_list
+from repro.xt import resources as R
+from repro.xt.resources import res
+from repro.xaw.simple import ThreeD
+
+
+class ListReturn:
+    """XawListReturnStruct: what the List callback receives."""
+
+    __slots__ = ("list_index", "string")
+
+    def __init__(self, list_index, string):
+        self.list_index = list_index
+        self.string = string
+
+
+def _action_set(widget, event, args):
+    index = widget.index_at(event.x, event.y) if event is not None else -1
+    if index >= 0:
+        widget.highlight(index)
+
+
+def _action_notify(widget, event, args):
+    widget.notify()
+
+
+def _action_unset(widget, event, args):
+    widget.unhighlight()
+
+
+class List(ThreeD):
+    CLASS_NAME = "List"
+    RESOURCES = [
+        res("foreground", R.R_PIXEL, "XtDefaultForeground"),
+        res("font", R.R_FONT, "XtDefaultFont"),
+        res("list", R.R_LIST, None),
+        res("numberStrings", R.R_INT, 0),
+        res("defaultColumns", R.R_INT, 2),
+        res("forceColumns", R.R_BOOLEAN, False),
+        res("internalWidth", R.R_DIMENSION, 4),
+        res("internalHeight", R.R_DIMENSION, 2),
+        res("columnSpacing", R.R_DIMENSION, 6),
+        res("rowSpacing", R.R_DIMENSION, 2),
+        res("verticalList", R.R_BOOLEAN, False),
+        res("callback", R.R_CALLBACK),
+        res("longest", R.R_INT, 0),
+        res("pasteBuffer", R.R_BOOLEAN, False),
+    ]
+    ACTIONS = {
+        "Set": _action_set,
+        "Notify": _action_notify,
+        "Unset": _action_unset,
+    }
+    DEFAULT_TRANSLATIONS = (
+        "<Btn1Down>: Set()\n"
+        "<Btn1Up>: Notify()\n"
+    )
+
+    def initialize(self):
+        self.selected = -1
+        if isinstance(self.resources.get("list"), str):
+            self.resources["list"] = string_to_list(self.resources["list"])
+        if self.resources.get("list") is None:
+            self.resources["list"] = []
+
+    def items(self):
+        return self.resources["list"]
+
+    def change_list(self, items, resize=True):
+        """XawListChange."""
+        self.resources["list"] = list(items)
+        self.selected = -1
+        if resize and self.realized:
+            self.resources["width"] = 0
+            self.resources["height"] = 0
+            width, height = self.preferred_size()
+            self.request_resize(width, height)
+        if self.realized:
+            self.redraw()
+
+    def highlight(self, index):
+        """XawListHighlight."""
+        if 0 <= index < len(self.items()):
+            self.selected = index
+            if self.realized:
+                self.redraw()
+
+    def unhighlight(self):
+        """XawListUnhighlight."""
+        self.selected = -1
+        if self.realized:
+            self.redraw()
+
+    def current(self):
+        """XawListShowCurrent: the selected (index, string) or None."""
+        if 0 <= self.selected < len(self.items()):
+            return ListReturn(self.selected, self.items()[self.selected])
+        return None
+
+    def notify(self):
+        current = self.current()
+        if current is not None:
+            self.call_callbacks("callback", current)
+
+    def row_height(self):
+        return self.resources["font"].height + self.resources["rowSpacing"]
+
+    def index_at(self, x, y):
+        row = (y - self.resources["internalHeight"]) // max(
+            1, self.row_height())
+        if 0 <= row < len(self.items()):
+            return int(row)
+        return -1
+
+    def preferred_size(self):
+        if self.resources["width"] > 0 and self.resources["height"] > 0:
+            return (self.resources["width"], self.resources["height"])
+        font = self.resources["font"]
+        items = self.items()
+        longest = max((font.text_width(i) for i in items), default=20)
+        width = self.resources["width"] or \
+            longest + 2 * self.resources["internalWidth"]
+        height = self.resources["height"] or \
+            max(1, len(items)) * self.row_height() + \
+            2 * self.resources["internalHeight"]
+        return (max(1, width), max(1, height))
+
+    def expose(self, event):
+        window = self.window
+        if window is None:
+            return
+        gfx.clear_area(window, pixel=self.resources["background"])
+        font = self.resources["font"]
+        foreground = self.resources["foreground"]
+        background = self.resources["background"]
+        y = self.resources["internalHeight"]
+        for index, item in enumerate(self.items()):
+            if index == self.selected:
+                # Inverse video for the active element.
+                bar = gfx.GC(foreground=foreground)
+                gfx.fill_rectangle(window, bar, 0, y, window.width,
+                                   self.row_height())
+                gc = gfx.GC(foreground=background, background=foreground,
+                            font=font)
+            else:
+                gc = gfx.GC(foreground=foreground, background=background,
+                            font=font)
+            gfx.draw_string(window, gc, self.resources["internalWidth"],
+                            y + font.ascent, item)
+            y += self.row_height()

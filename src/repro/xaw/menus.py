@@ -1,0 +1,145 @@
+"""SimpleMenu and its Sme entry widgets.
+
+The MenuButton example of the paper ("<EnterWindow>: PopupMenu()")
+pops one of these up.  A SimpleMenu is an override shell whose children
+are Sme (simple menu entry) widgets; releasing button 1 over an entry
+notifies its callback and pops the menu down.
+"""
+
+from repro.xlib import graphics as gfx
+from repro.xt import resources as R
+from repro.xt.resources import res
+from repro.xt.shell import OverrideShell
+from repro.xt.widget import Widget
+
+
+def _menu_notify(widget, event, args):
+    """Runs on Btn1Up inside the menu shell."""
+    entry = widget.entry_at(event.y) if event is not None else None
+    widget.popdown()
+    if entry is not None:
+        entry.call_callbacks("callback", None)
+
+
+class Sme(Widget):
+    """A menu entry (SmeBSB: string + optional bitmaps)."""
+
+    CLASS_NAME = "Sme"
+    RESOURCES = [
+        res("callback", R.R_CALLBACK),
+        res("label", R.R_STRING, None),
+        res("foreground", R.R_PIXEL, "XtDefaultForeground"),
+        res("font", R.R_FONT, "XtDefaultFont"),
+        res("vertSpace", R.R_INT, 25),
+        res("leftMargin", R.R_DIMENSION, 4),
+        res("rightMargin", R.R_DIMENSION, 4),
+    ]
+
+    def initialize(self):
+        if self.resources.get("label") is None:
+            self.resources["label"] = self.name
+
+    def realize(self):
+        # Sme objects are windowless gadgets (RectObj in Xaw): pointer
+        # events go to the SimpleMenu shell, which resolves the entry.
+        self.realized = True
+
+    def preferred_size(self):
+        font = self.resources["font"]
+        label = self.resources.get("label") or ""
+        height = font.height + (font.height *
+                                self.resources["vertSpace"]) // 100
+        width = (font.text_width(label) + self.resources["leftMargin"] +
+                 self.resources["rightMargin"])
+        return (max(1, width), max(1, height))
+
+
+class SmeBSB(Sme):
+    CLASS_NAME = "SmeBSB"
+    RESOURCES = [
+        res("leftBitmap", R.R_BITMAP, None),
+        res("rightBitmap", R.R_BITMAP, None),
+    ]
+
+
+class SmeLine(Sme):
+    CLASS_NAME = "SmeLine"
+    RESOURCES = [
+        res("lineWidth", R.R_DIMENSION, 1),
+    ]
+
+    def preferred_size(self):
+        return (10, max(2, self.resources["lineWidth"] + 2))
+
+
+class SimpleMenu(OverrideShell):
+    CLASS_NAME = "SimpleMenu"
+    RESOURCES = [
+        res("label", R.R_STRING, None),
+        res("cursor", R.R_CURSOR, None),
+        res("menuOnScreen", R.R_BOOLEAN, True),
+        res("popupOnEntry", R.R_WIDGET, None),
+        res("backingStore", R.R_STRING, "default"),
+    ]
+    ACTIONS = {
+        "notify": _menu_notify,
+        "MenuPopdown": lambda w, e, a: w.popdown(),
+    }
+    DEFAULT_TRANSLATIONS = (
+        "<Btn1Up>: notify()\n"
+        "<BtnUp>: notify()\n"
+    )
+
+    def entries(self):
+        return [c for c in self.children if isinstance(c, Sme)]
+
+    def entry_at(self, y):
+        offset = 0
+        for entry in self.entries():
+            __, height = entry.preferred_size()
+            if offset <= y < offset + height:
+                return entry
+            offset += height
+        return None
+
+    def layout(self):
+        offset = 0
+        width = max((e.preferred_size()[0] for e in self.entries()),
+                    default=20)
+        for entry in self.entries():
+            __, height = entry.preferred_size()
+            entry.resources["x"] = 0
+            entry.resources["y"] = offset
+            entry.resources["width"] = width
+            entry.resources["height"] = height
+            if entry.window is not None:
+                entry.window.configure(x=0, y=offset, width=width,
+                                       height=height)
+            offset += height
+
+    def preferred_size(self):
+        width = max((e.preferred_size()[0] for e in self.entries()),
+                    default=20)
+        height = sum(e.preferred_size()[1] for e in self.entries()) or 10
+        return (max(1, width), max(1, height))
+
+    def expose(self, event):
+        window = self.window
+        if window is None:
+            return
+        gfx.clear_area(window, pixel=self.resources["background"])
+        offset = 0
+        for entry in self.entries():
+            font = entry.resources["font"]
+            __, height = entry.preferred_size()
+            if isinstance(entry, SmeLine):
+                gc = gfx.GC(foreground=entry.resources["foreground"])
+                gfx.draw_line(window, gc, 2, offset + height // 2,
+                              window.width - 2, offset + height // 2)
+            else:
+                gc = gfx.GC(foreground=entry.resources["foreground"],
+                            font=font)
+                gfx.draw_string(window, gc, entry.resources["leftMargin"],
+                                offset + font.ascent,
+                                entry.resources.get("label") or "")
+            offset += height

@@ -1,0 +1,60 @@
+"""Simple and ThreeD: the base classes of the Athena widgets.
+
+``Simple`` contributes the cursor/insensitive resources; ``ThreeD`` is
+Kaleb Keithley's Xaw3d shadow layer, which the paper says can be used
+"simply by relinking Wafe" -- our build links it in permanently, which
+is also what makes Label report 42 resources (18 Core + 5 Simple +
+9 ThreeD + 10 Label), matching the paper's interactive example.
+"""
+
+from repro.xlib import graphics as gfx
+from repro.xt import resources as R
+from repro.xt.resources import res
+from repro.xt.widget import Widget
+
+
+class Simple(Widget):
+    CLASS_NAME = "Simple"
+    RESOURCES = [
+        res("cursor", R.R_CURSOR, None),
+        res("insensitiveBorder", R.R_PIXMAP, None),
+        res("pointerColor", R.R_PIXEL, "XtDefaultForeground"),
+        res("pointerColorBackground", R.R_PIXEL, "XtDefaultBackground"),
+        res("cursorName", R.R_STRING, None),
+    ]
+
+
+class ThreeD(Simple):
+    """The Xaw3d shadow resources."""
+
+    CLASS_NAME = "ThreeD"
+    RESOURCES = [
+        res("shadowWidth", R.R_DIMENSION, 2),
+        res("topShadowPixel", R.R_PIXEL, "#DEDEDE"),
+        res("bottomShadowPixel", R.R_PIXEL, "#7E7E7E"),
+        res("topShadowContrast", R.R_INT, 20),
+        res("bottomShadowContrast", R.R_INT, 40),
+        res("topShadowPixmap", R.R_PIXMAP, None),
+        res("bottomShadowPixmap", R.R_PIXMAP, None),
+        res("userData", R.R_POINTER, None),
+        res("beNiceToColormap", R.R_BOOLEAN, False),
+    ]
+
+    def draw_shadow(self, pressed=False):
+        """Paint the 3d bevel around the widget."""
+        if self.window is None:
+            return
+        width = self.resources["shadowWidth"]
+        if width <= 0:
+            return
+        top_pixel = self.resources["topShadowPixel"]
+        bottom_pixel = self.resources["bottomShadowPixel"]
+        if pressed:
+            top_pixel, bottom_pixel = bottom_pixel, top_pixel
+        w, h = self.window.width, self.window.height
+        top = gfx.GC(foreground=top_pixel)
+        bottom = gfx.GC(foreground=bottom_pixel)
+        gfx.fill_rectangle(self.window, top, 0, 0, w, width)
+        gfx.fill_rectangle(self.window, top, 0, 0, width, h)
+        gfx.fill_rectangle(self.window, bottom, 0, h - width, w, width)
+        gfx.fill_rectangle(self.window, bottom, w - width, 0, width, h)

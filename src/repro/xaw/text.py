@@ -1,0 +1,229 @@
+"""The Athena AsciiText widget.
+
+The paper's prime-factor demo reads numbers out of an ``asciiText``
+(``editType edit``), and the mass-transfer example stores 100 kB into
+one via ``sv text ... string $C``.  This implementation models the
+string source (read/edit/append), an insertion point, the keyboard
+editing actions bound through the default translations, and multi-line
+display.
+"""
+
+from repro.xlib import graphics as gfx
+from repro.xlib import keysym as _keysym
+from repro.xlib import xtypes
+from repro.xt import resources as R
+from repro.xt.resources import res
+from repro.xaw.simple import ThreeD
+
+
+def _action_insert_char(widget, event, args):
+    if widget.resources["editType"] == "read":
+        return
+    text, __ = _keysym.lookup_string(
+        event.keycode, bool(event.state & xtypes.ShiftMask))
+    if text and text.isprintable():
+        widget.insert(text)
+
+
+def _action_newline(widget, event, args):
+    if widget.resources["editType"] == "read":
+        return
+    widget.insert("\n")
+
+
+def _action_delete_previous(widget, event, args):
+    if widget.resources["editType"] == "read":
+        return
+    widget.delete_previous()
+
+
+def _action_select_all(widget, event, args):
+    widget.select(0, len(widget.get_string()))
+
+
+def _action_select_word(widget, event, args):
+    string = widget.get_string()
+    point = min(widget.insertion_point, max(0, len(string) - 1))
+    start = point
+    while start > 0 and not string[start - 1].isspace():
+        start -= 1
+    end = point
+    while end < len(string) and not string[end].isspace():
+        end += 1
+    widget.select(start, end)
+
+
+def _action_insert_selection(widget, event, args):
+    if widget.resources["editType"] == "read":
+        return
+    from repro.xt.selection import get_selection_value
+
+    selection = args[0] if args else "PRIMARY"
+
+    def paste(value):
+        if value:
+            widget.insert(value)
+
+    get_selection_value(widget, selection, "STRING", paste)
+
+
+def _action_beginning_of_line(widget, event, args):
+    string = widget.resources.get("string") or ""
+    point = widget.insertion_point
+    widget.insertion_point = string.rfind("\n", 0, point) + 1
+
+
+def _action_end_of_line(widget, event, args):
+    string = widget.resources.get("string") or ""
+    point = widget.insertion_point
+    end = string.find("\n", point)
+    widget.insertion_point = len(string) if end < 0 else end
+
+
+class AsciiText(ThreeD):
+    CLASS_NAME = "Text"
+    RESOURCES = [
+        res("foreground", R.R_PIXEL, "XtDefaultForeground"),
+        res("font", R.R_FONT, "XtDefaultFont"),
+        res("string", R.R_STRING, ""),
+        res("editType", R.R_EDIT_MODE, "read", class_="EditType"),
+        res("length", R.R_INT, 0),
+        res("insertPosition", R.R_INT, 0),
+        res("displayCaret", R.R_BOOLEAN, True),
+        res("scrollVertical", R.R_STRING, "never"),
+        res("scrollHorizontal", R.R_STRING, "never"),
+        res("wrap", R.R_STRING, "never"),
+        res("echo", R.R_BOOLEAN, True),
+        res("leftMargin", R.R_DIMENSION, 2),
+        res("topMargin", R.R_DIMENSION, 2),
+    ]
+    ACTIONS = {
+        "insert-char": _action_insert_char,
+        "newline": _action_newline,
+        "delete-previous-character": _action_delete_previous,
+        "beginning-of-line": _action_beginning_of_line,
+        "end-of-line": _action_end_of_line,
+        "select-all": _action_select_all,
+        "select-word": _action_select_word,
+        "insert-selection": _action_insert_selection,
+    }
+    DEFAULT_TRANSLATIONS = (
+        "<Key>Return: newline()\n"
+        "<Key>BackSpace: delete-previous-character()\n"
+        "<Key>Delete: delete-previous-character()\n"
+        "Ctrl<Key>a: beginning-of-line()\n"
+        "Ctrl<Key>e: end-of-line()\n"
+        "<Btn2Down>: insert-selection(PRIMARY)\n"
+        "<KeyPress>: insert-char()\n"
+    )
+
+    def initialize(self):
+        if self.resources.get("string") is None:
+            self.resources["string"] = ""
+        self.insertion_point = len(self.resources["string"])
+        self.selection = None  # (start, end) into the string
+
+    # -- selections ------------------------------------------------------
+
+    def select(self, start, end):
+        """Select a range and own PRIMARY with it (XawTextSetSelection)."""
+        start = max(0, min(start, len(self.get_string())))
+        end = max(start, min(end, len(self.get_string())))
+        self.selection = (start, end)
+        if self.window is not None:
+            from repro.xt.selection import own_selection
+
+            own_selection(self, "PRIMARY",
+                          lambda target: self.selected_text())
+        if self.realized:
+            self.redraw()
+
+    def selected_text(self):
+        if self.selection is None:
+            return ""
+        start, end = self.selection
+        return self.get_string()[start:end]
+
+    # -- the programmatic interface (XawTextSetInsertionPoint etc.) ----
+
+    def set_string(self, text):
+        self.resources["string"] = text
+        self.insertion_point = min(self.insertion_point, len(text))
+        if self.realized:
+            self.redraw()
+
+    def get_string(self):
+        return self.resources.get("string") or ""
+
+    def set_insertion_point(self, position):
+        self.insertion_point = max(0, min(position, len(self.get_string())))
+
+    def insert(self, text):
+        string = self.get_string()
+        point = self.insertion_point
+        if self.resources["editType"] == "append":
+            point = len(string)
+        self.resources["string"] = string[:point] + text + string[point:]
+        self.insertion_point = point + len(text)
+        if self.realized:
+            self.redraw()
+
+    def delete_previous(self):
+        string = self.get_string()
+        point = self.insertion_point
+        if point > 0:
+            self.resources["string"] = string[: point - 1] + string[point:]
+            self.insertion_point = point - 1
+            if self.realized:
+                self.redraw()
+
+    def set_values_hook(self, old, changed):
+        if "string" in changed:
+            self.insertion_point = min(self.insertion_point,
+                                       len(self.get_string()))
+
+    # -- display --------------------------------------------------------
+
+    def preferred_size(self):
+        if self.resources["width"] > 0 and self.resources["height"] > 0:
+            return (self.resources["width"], self.resources["height"])
+        font = self.resources["font"]
+        lines = self.get_string().split("\n")
+        width = self.resources["width"] or max(
+            100, max((font.text_width(l) for l in lines), default=0) +
+            2 * self.resources["leftMargin"])
+        height = self.resources["height"] or max(
+            font.height + 2 * self.resources["topMargin"],
+            font.height * len(lines) + 2 * self.resources["topMargin"])
+        return (max(1, width), max(1, height))
+
+    def expose(self, event):
+        window = self.window
+        if window is None:
+            return
+        gfx.clear_area(window, pixel=self.resources["background"])
+        if not self.resources["echo"]:
+            return
+        font = self.resources["font"]
+        gc = gfx.GC(foreground=self.resources["foreground"],
+                    background=self.resources["background"], font=font)
+        y = self.resources["topMargin"] + font.ascent
+        for line in self.get_string().split("\n"):
+            if y - font.ascent > window.height:
+                break
+            gfx.draw_string(window, gc, self.resources["leftMargin"],
+                            y, line)
+            y += font.height
+        if self.resources["displayCaret"]:
+            self._draw_caret(gc)
+
+    def _draw_caret(self, gc):
+        font = self.resources["font"]
+        string = self.get_string()[: self.insertion_point]
+        lines = string.split("\n")
+        row = len(lines) - 1
+        col_text = lines[-1]
+        x = self.resources["leftMargin"] + font.text_width(col_text)
+        y = self.resources["topMargin"] + row * font.height
+        gfx.fill_rectangle(self.window, gc, x, y + font.height - 2,
+                           max(4, font.char_width("m") // 2), 2)

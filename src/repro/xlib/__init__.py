@@ -1,0 +1,30 @@
+"""A simulated X11 display server and client library.
+
+The paper's substrate is an X11R5 server reached through Xlib.  This
+package provides the equivalent surface as an in-process simulation:
+
+* :mod:`repro.xlib.xtypes` -- protocol constants (event types, masks,
+  grab modes, notify modes).
+* :mod:`repro.xlib.colors` -- the named color database (``rgb.txt``) and
+  pixel allocation.
+* :mod:`repro.xlib.fonts` -- core fonts with XLFD pattern matching and
+  deterministic glyph metrics.
+* :mod:`repro.xlib.keysym` -- keycode/keysym tables modelled on the
+  DECstation keyboard the paper was developed on (so the xev example's
+  keycodes 198/174/197 reproduce exactly).
+* :mod:`repro.xlib.display` -- displays, screens, the window tree, the
+  event queue, grabs, selections and properties.
+* :mod:`repro.xlib.graphics` -- GCs and drawing into a numpy
+  framebuffer; pixmaps.
+* :mod:`repro.xlib.xpm` -- the XPM pixmap file format plus XBM bitmaps
+  (for the extended String-to-Bitmap converter).
+
+Everything a widget does -- realize, paint, receive events -- happens
+for real against this server, which is what lets the benchmarks measure
+refresh behaviour and click-ahead rather than assert them.
+"""
+
+from repro.xlib.display import Display, Window, open_display, close_all_displays
+from repro.xlib.events import XEvent
+
+__all__ = ["Display", "Window", "XEvent", "open_display", "close_all_displays"]

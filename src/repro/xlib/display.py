@@ -1,0 +1,437 @@
+"""The simulated display server: windows, the event queue, grabs.
+
+``open_display(name)`` returns a per-name singleton, so a Wafe script
+that creates a second application shell on ``dec4:0`` really talks to a
+second (virtual) server, as in the paper's multi-display example.
+
+The server owns a framebuffer per screen (numpy, 0xRRGGBB per pixel);
+drawing happens through :mod:`repro.xlib.graphics`.  Event *synthesis*
+helpers (``press_button``, ``type_string``, ...) stand in for a human
+at the keyboard -- tests and benchmarks drive whole applications with
+them.
+"""
+
+import collections
+import itertools
+
+import numpy
+
+from repro.xlib import keysym as _keysym
+from repro.xlib import xtypes
+from repro.xlib.events import XEvent
+
+
+class XError(Exception):
+    """A protocol-level error (BadWindow and friends)."""
+
+
+class Window:
+    """One window in the server-side window tree."""
+
+    _ids = itertools.count(0x400001)
+
+    def __init__(self, display, parent, x, y, width, height, border_width=0):
+        self.display = display
+        self.parent = parent
+        self.children = []
+        self.wid = next(Window._ids)
+        self.x = x
+        self.y = y
+        self.width = max(1, width)
+        self.height = max(1, height)
+        self.border_width = border_width
+        self.mapped = False
+        self.destroyed = False
+        self.event_mask = 0
+        self.background_pixel = 0xFFFFFF
+        self.properties = {}
+        self.override_redirect = False
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- geometry ------------------------------------------------------
+
+    def absolute_origin(self):
+        x, y = 0, 0
+        window = self
+        while window is not None:
+            x += window.x
+            y += window.y
+            window = window.parent
+        return x, y
+
+    def contains_absolute(self, ax, ay):
+        ox, oy = self.absolute_origin()
+        return ox <= ax < ox + self.width and oy <= ay < oy + self.height
+
+    def viewable(self):
+        window = self
+        while window is not None:
+            if window.destroyed or not window.mapped:
+                return False
+            window = window.parent
+        return True
+
+    # -- lifecycle -----------------------------------------------------
+
+    def map(self):
+        if self.destroyed or self.mapped:
+            return
+        self.mapped = True
+        self.display._notify_structure(self, xtypes.MapNotify)
+        if self.viewable():
+            self.display.expose(self)
+
+    def unmap(self):
+        if not self.mapped:
+            return
+        self.mapped = False
+        self.display._notify_structure(self, xtypes.UnmapNotify)
+
+    def destroy(self):
+        if self.destroyed:
+            return
+        for child in list(self.children):
+            child.destroy()
+        self.destroyed = True
+        self.mapped = False
+        if self.parent is not None and self in self.parent.children:
+            self.parent.children.remove(self)
+        self.display._notify_structure(self, xtypes.DestroyNotify)
+        self.display._forget_window(self)
+
+    def configure(self, x=None, y=None, width=None, height=None,
+                  border_width=None):
+        changed = False
+        for attr, value in (("x", x), ("y", y), ("width", width),
+                            ("height", height), ("border_width", border_width)):
+            if value is not None and getattr(self, attr) != value:
+                setattr(self, attr, value)
+                changed = True
+        if changed:
+            self.display._notify_structure(self, xtypes.ConfigureNotify)
+            if self.viewable():
+                self.display.expose(self)
+
+    def raise_window(self):
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent.children.append(self)
+
+    def select_input(self, event_mask):
+        self.event_mask = event_mask
+
+    def __repr__(self):  # pragma: no cover
+        return "<Window 0x%x %dx%d+%d+%d%s>" % (
+            self.wid, self.width, self.height, self.x, self.y,
+            " mapped" if self.mapped else "",
+        )
+
+
+class Screen:
+    """A screen: root window plus framebuffer."""
+
+    def __init__(self, display, width=1024, height=768):
+        self.display = display
+        self.width = width
+        self.height = height
+        self.black_pixel = 0x000000
+        self.white_pixel = 0xFFFFFF
+        self.framebuffer = numpy.full((height, width), self.white_pixel,
+                                      dtype=numpy.uint32)
+        self.root = Window(display, None, 0, 0, width, height)
+        self.root.mapped = True
+
+
+class Display:
+    """One virtual X server connection."""
+
+    def __init__(self, name=":0"):
+        self.name = name
+        self.screen = Screen(self)
+        self.queue = collections.deque()
+        self._time = itertools.count(1000)
+        self.pointer_window = None
+        self.pointer_x = 0
+        self.pointer_y = 0
+        self.pointer_state = 0
+        self.focus_window = None
+        self.grab_window = None
+        self.grab_owner_events = False
+        self.implicit_grab = None  # active between ButtonPress and Release
+        self.selections = {}  # atom name -> (window, owner_callback, time)
+        self.closed = False
+        self.event_hook = None  # called on every put_event (for app loops)
+
+    # ------------------------------------------------------------------
+    # Window management
+
+    @property
+    def root(self):
+        return self.screen.root
+
+    def create_window(self, parent, x, y, width, height, border_width=0):
+        if parent is None:
+            parent = self.root
+        return Window(self, parent, x, y, width, height, border_width)
+
+    def _forget_window(self, window):
+        if self.pointer_window is window:
+            self.pointer_window = None
+        if self.focus_window is window:
+            self.focus_window = None
+        if self.grab_window is window:
+            self.grab_window = None
+        self.queue = collections.deque(
+            e for e in self.queue if e.window is not window
+        )
+
+    def window_at(self, ax, ay, root=None):
+        """The deepest viewable window containing an absolute point."""
+        window = root if root is not None else self.root
+        if not window.mapped or not window.contains_absolute(ax, ay):
+            return None
+        # Later children are on top.
+        for child in reversed(window.children):
+            if child.mapped:
+                hit = self.window_at(ax, ay, child)
+                if hit is not None:
+                    return hit
+        return window
+
+    # ------------------------------------------------------------------
+    # Event queue
+
+    def next_time(self):
+        return next(self._time)
+
+    def put_event(self, event):
+        if event.time == 0:
+            event.time = self.next_time()
+        self.queue.append(event)
+        if self.event_hook is not None:
+            self.event_hook(event)
+
+    def pending(self):
+        return len(self.queue)
+
+    def next_event(self):
+        if not self.queue:
+            raise XError("event queue empty")
+        return self.queue.popleft()
+
+    def flush(self):
+        """No-op: the simulation is synchronous."""
+
+    def sync(self):
+        """No-op: the simulation is synchronous."""
+
+    def _notify_structure(self, window, event_type):
+        if window.event_mask & xtypes.StructureNotifyMask:
+            self.put_event(XEvent(event_type, window,
+                                  width=window.width, height=window.height))
+
+    def expose(self, window, x=0, y=0, width=None, height=None, count=0):
+        """Queue an Expose for a window (and viewable descendants)."""
+        if not window.viewable():
+            return
+        if window.event_mask & xtypes.ExposureMask:
+            self.put_event(XEvent(
+                xtypes.Expose, window, x=x, y=y,
+                width=window.width if width is None else width,
+                height=window.height if height is None else height,
+                count=count,
+            ))
+        for child in window.children:
+            if child.mapped:
+                self.expose(child)
+
+    # ------------------------------------------------------------------
+    # Grabs, focus, selections
+
+    def grab_pointer(self, window, owner_events=False):
+        self.grab_window = window
+        self.grab_owner_events = owner_events
+
+    def ungrab_pointer(self):
+        self.grab_window = None
+
+    def set_input_focus(self, window):
+        self.focus_window = window
+
+    def set_selection_owner(self, selection, window, convert_callback):
+        """Own a selection; the callback produces (type, value) on demand."""
+        previous = self.selections.get(selection)
+        if previous is not None and previous[0] is not window:
+            old_window = previous[0]
+            if old_window is not None and not old_window.destroyed:
+                self.put_event(XEvent(xtypes.SelectionClear, old_window,
+                                      selection=selection))
+        self.selections[selection] = (window, convert_callback,
+                                      self.next_time())
+
+    def get_selection_owner(self, selection):
+        entry = self.selections.get(selection)
+        return entry[0] if entry else None
+
+    def convert_selection(self, selection, target, requestor):
+        """Ask the owner for the selection; delivers SelectionNotify."""
+        entry = self.selections.get(selection)
+        if entry is None:
+            self.put_event(XEvent(xtypes.SelectionNotify, requestor,
+                                  selection=selection, target=target,
+                                  property=None, data=None))
+            return
+        _window, callback, _t = entry
+        data = callback(target)
+        self.put_event(XEvent(xtypes.SelectionNotify, requestor,
+                              selection=selection, target=target,
+                              property="SELECTION", data=data))
+
+    # ------------------------------------------------------------------
+    # Event synthesis (the "user at the keyboard")
+
+    def _deliver_target(self, window):
+        """Honour an active pointer grab the way the server does."""
+        if self.grab_window is None and self.implicit_grab is not None:
+            # The implicit grab between ButtonPress and ButtonRelease:
+            # motion and release go to the pressed window (drags work).
+            if self.implicit_grab.destroyed:
+                self.implicit_grab = None
+            else:
+                return self.implicit_grab
+        if self.grab_window is None or window is None:
+            return window
+        # owner_events: events in the grab client's windows go there
+        # normally; everything else is reported to the grab window.
+        probe = window
+        while probe is not None:
+            if probe is self.grab_window:
+                return window
+            probe = probe.parent
+        if self.grab_owner_events:
+            return window
+        return self.grab_window
+
+    def _crossing(self, new_window, ax, ay):
+        old = self.pointer_window
+        if old is new_window:
+            return
+        if old is not None and not old.destroyed and (
+                old.event_mask & xtypes.LeaveWindowMask):
+            ox, oy = old.absolute_origin()
+            self.put_event(XEvent(xtypes.LeaveNotify, old,
+                                  x=ax - ox, y=ay - oy,
+                                  x_root=ax, y_root=ay,
+                                  state=self.pointer_state))
+        if new_window is not None and (
+                new_window.event_mask & xtypes.EnterWindowMask):
+            nx, ny = new_window.absolute_origin()
+            self.put_event(XEvent(xtypes.EnterNotify, new_window,
+                                  x=ax - nx, y=ay - ny,
+                                  x_root=ax, y_root=ay,
+                                  state=self.pointer_state))
+        self.pointer_window = new_window
+
+    def warp_pointer(self, ax, ay):
+        """Move the pointer; generates Enter/Leave crossings."""
+        self.pointer_x = ax
+        self.pointer_y = ay
+        self._crossing(self.window_at(ax, ay), ax, ay)
+
+    def motion(self, ax, ay):
+        self.warp_pointer(ax, ay)
+        window = self._deliver_target(self.window_at(ax, ay))
+        if window is not None and (
+                window.event_mask & (xtypes.PointerMotionMask |
+                                     xtypes.ButtonMotionMask)):
+            ox, oy = window.absolute_origin()
+            self.put_event(XEvent(xtypes.MotionNotify, window,
+                                  x=ax - ox, y=ay - oy, x_root=ax, y_root=ay,
+                                  state=self.pointer_state))
+
+    def press_button(self, ax, ay, button=1):
+        self.warp_pointer(ax, ay)
+        target = self._deliver_target(self.window_at(ax, ay))
+        if target is None:
+            return
+        ox, oy = target.absolute_origin()
+        self.put_event(XEvent(xtypes.ButtonPress, target, button=button,
+                              x=ax - ox, y=ay - oy, x_root=ax, y_root=ay,
+                              state=self.pointer_state))
+        if self.pointer_state & (xtypes.Button1Mask | xtypes.Button2Mask |
+                                 xtypes.Button3Mask) == 0:
+            self.implicit_grab = target
+        self.pointer_state |= xtypes.Button1Mask << (button - 1)
+
+    def release_button(self, ax, ay, button=1):
+        self.warp_pointer(ax, ay)
+        self.pointer_state &= ~(xtypes.Button1Mask << (button - 1))
+        target = self._deliver_target(self.window_at(ax, ay))
+        if self.pointer_state & (xtypes.Button1Mask | xtypes.Button2Mask |
+                                 xtypes.Button3Mask) == 0:
+            self.implicit_grab = None
+        if target is None:
+            return
+        ox, oy = target.absolute_origin()
+        self.put_event(XEvent(xtypes.ButtonRelease, target, button=button,
+                              x=ax - ox, y=ay - oy, x_root=ax, y_root=ay,
+                              state=self.pointer_state))
+
+    def click(self, ax, ay, button=1):
+        self.press_button(ax, ay, button)
+        self.release_button(ax, ay, button)
+
+    def press_key(self, window, keycode, state=0, release=True):
+        """Key press (and release) delivered to a window (or the focus)."""
+        if window is None:
+            window = self.focus_window or self.pointer_window or self.root
+        ox, oy = window.absolute_origin()
+        x = self.pointer_x - ox
+        y = self.pointer_y - oy
+        self.put_event(XEvent(xtypes.KeyPress, window, keycode=keycode,
+                              state=state, x=x, y=y,
+                              x_root=self.pointer_x, y_root=self.pointer_y))
+        if release:
+            self.put_event(XEvent(xtypes.KeyRelease, window, keycode=keycode,
+                                  state=state, x=x, y=y,
+                                  x_root=self.pointer_x,
+                                  y_root=self.pointer_y))
+
+    def type_string(self, window, text, release=True):
+        """Type text: shift keys are pressed around shifted characters,
+        exactly as the paper's xev example requires."""
+        shift_code, _ = _keysym.keysym_to_keycode("Shift_L")
+        for ch in text:
+            keycode, shifted = _keysym.char_to_keycode(ch)
+            if keycode == 0:
+                continue
+            if shifted:
+                self.press_key(window, shift_code, release=release)
+                self.press_key(window, keycode, state=xtypes.ShiftMask,
+                               release=release)
+            else:
+                self.press_key(window, keycode, release=release)
+
+    def close(self):
+        self.closed = True
+        self.queue.clear()
+
+
+_displays = {}
+
+
+def open_display(name=":0"):
+    """Open (or reuse) the virtual display with this name."""
+    display = _displays.get(name)
+    if display is None or display.closed:
+        display = Display(name)
+        _displays[name] = display
+    return display
+
+
+def close_all_displays():
+    """Tear down every virtual display (test isolation)."""
+    for display in _displays.values():
+        display.close()
+    _displays.clear()

@@ -1,0 +1,59 @@
+"""X event objects.
+
+One class covers all event types (like the C ``XEvent`` union); the
+``type`` field plus per-type attributes mirror the members Wafe's
+percent codes need: coordinates, root coordinates, button number,
+keycode, and state.
+"""
+
+from repro.xlib import xtypes
+
+
+class XEvent:
+    """An X event.  Unset attributes default to 0/None/''."""
+
+    __slots__ = (
+        "type", "window", "x", "y", "x_root", "y_root", "state", "button",
+        "keycode", "time", "width", "height", "count", "mode", "detail",
+        "atom", "selection", "target", "property", "requestor", "data",
+        "is_hint", "same_screen", "subwindow", "serial",
+    )
+
+    def __init__(self, type, window=None, **fields):
+        self.type = type
+        self.window = window
+        self.x = fields.pop("x", 0)
+        self.y = fields.pop("y", 0)
+        self.x_root = fields.pop("x_root", 0)
+        self.y_root = fields.pop("y_root", 0)
+        self.state = fields.pop("state", 0)
+        self.button = fields.pop("button", 0)
+        self.keycode = fields.pop("keycode", 0)
+        self.time = fields.pop("time", 0)
+        self.width = fields.pop("width", 0)
+        self.height = fields.pop("height", 0)
+        self.count = fields.pop("count", 0)
+        self.mode = fields.pop("mode", 0)
+        self.detail = fields.pop("detail", 0)
+        self.atom = fields.pop("atom", None)
+        self.selection = fields.pop("selection", None)
+        self.target = fields.pop("target", None)
+        self.property = fields.pop("property", None)
+        self.requestor = fields.pop("requestor", None)
+        self.data = fields.pop("data", None)
+        self.is_hint = fields.pop("is_hint", False)
+        self.same_screen = fields.pop("same_screen", True)
+        self.subwindow = fields.pop("subwindow", None)
+        self.serial = fields.pop("serial", 0)
+        if fields:
+            raise TypeError("unknown event fields: %s" % ", ".join(fields))
+
+    @property
+    def type_name(self):
+        return xtypes.EVENT_NAMES.get(self.type, "Unknown")
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        window_id = getattr(self.window, "wid", None)
+        return "<XEvent %s win=%s x=%d y=%d>" % (
+            self.type_name, window_id, self.x, self.y
+        )

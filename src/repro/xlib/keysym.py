@@ -1,0 +1,245 @@
+"""Keysyms and the keyboard mapping.
+
+Keysym *values* follow the real ``keysymdef.h`` (Latin-1 keysyms equal
+their character codes; function keys live in the 0xFFxx block).  The
+keycode layout models the DEC LK401 keyboard of the DECstations the
+paper was developed on; in particular the three keycodes visible in the
+paper's xev example are pinned so the example reproduces byte-for-byte:
+
+* ``w``       -> keycode 198
+* ``Shift_L`` -> keycode 174
+* ``1``/``!`` -> keycode 197
+"""
+
+_PUNCT_NAMES = {
+    " ": "space",
+    "!": "exclam",
+    '"': "quotedbl",
+    "#": "numbersign",
+    "$": "dollar",
+    "%": "percent",
+    "&": "ampersand",
+    "'": "apostrophe",
+    "(": "parenleft",
+    ")": "parenright",
+    "*": "asterisk",
+    "+": "plus",
+    ",": "comma",
+    "-": "minus",
+    ".": "period",
+    "/": "slash",
+    ":": "colon",
+    ";": "semicolon",
+    "<": "less",
+    "=": "equal",
+    ">": "greater",
+    "?": "question",
+    "@": "at",
+    "[": "bracketleft",
+    "\\": "backslash",
+    "]": "bracketright",
+    "^": "asciicircum",
+    "_": "underscore",
+    "`": "grave",
+    "{": "braceleft",
+    "|": "bar",
+    "}": "braceright",
+    "~": "asciitilde",
+}
+
+_FUNCTION_KEYSYMS = {
+    "BackSpace": 0xFF08,
+    "Tab": 0xFF09,
+    "Linefeed": 0xFF0A,
+    "Return": 0xFF0D,
+    "Escape": 0xFF1B,
+    "Delete": 0xFFFF,
+    "Home": 0xFF50,
+    "Left": 0xFF51,
+    "Up": 0xFF52,
+    "Right": 0xFF53,
+    "Down": 0xFF54,
+    "End": 0xFF57,
+    "Shift_L": 0xFFE1,
+    "Shift_R": 0xFFE2,
+    "Control_L": 0xFFE3,
+    "Control_R": 0xFFE4,
+    "Caps_Lock": 0xFFE5,
+    "Meta_L": 0xFFE7,
+    "Meta_R": 0xFFE8,
+    "Alt_L": 0xFFE9,
+    "Alt_R": 0xFFEA,
+}
+for _i in range(1, 13):
+    _FUNCTION_KEYSYMS["F%d" % _i] = 0xFFBE + _i - 1
+
+# name -> keysym value
+KEYSYMS = {}
+for _ch, _name in _PUNCT_NAMES.items():
+    KEYSYMS[_name] = ord(_ch)
+for _c in range(ord("0"), ord("9") + 1):
+    KEYSYMS[chr(_c)] = _c
+for _c in range(ord("A"), ord("Z") + 1):
+    KEYSYMS[chr(_c)] = _c
+for _c in range(ord("a"), ord("z") + 1):
+    KEYSYMS[chr(_c)] = _c
+KEYSYMS.update(_FUNCTION_KEYSYMS)
+
+_KEYSYM_NAMES = {}
+for _name, _value in KEYSYMS.items():
+    _KEYSYM_NAMES.setdefault(_value, _name)
+# Prefer lowercase letter names for their values (a..z come after A..Z
+# in insertion order above, so fix the letter range explicitly).
+for _c in range(ord("a"), ord("z") + 1):
+    _KEYSYM_NAMES[_c] = chr(_c)
+for _c in range(ord("A"), ord("Z") + 1):
+    _KEYSYM_NAMES[_c] = chr(_c)
+
+NoSymbol = 0
+
+
+def string_to_keysym(name):
+    """Name -> keysym value, 0 (NoSymbol) if unknown."""
+    if name in KEYSYMS:
+        return KEYSYMS[name]
+    if len(name) == 1 and 32 <= ord(name) < 256:
+        return ord(name)
+    return NoSymbol
+
+
+def keysym_to_string(value):
+    """Keysym value -> name, '' if unknown."""
+    return _KEYSYM_NAMES.get(value, "")
+
+
+# ----------------------------------------------------------------------
+# The keyboard: keycode -> (unshifted keysym name, shifted keysym name)
+
+_SHIFT_PAIRS = [
+    ("1", "exclam"), ("2", "at"), ("3", "numbersign"), ("4", "dollar"),
+    ("5", "percent"), ("6", "asciicircum"), ("7", "ampersand"),
+    ("8", "asterisk"), ("9", "parenleft"), ("0", "parenright"),
+    ("minus", "underscore"), ("equal", "plus"),
+    ("semicolon", "colon"), ("apostrophe", "quotedbl"),
+    ("comma", "less"), ("period", "greater"), ("slash", "question"),
+    ("bracketleft", "braceleft"), ("bracketright", "braceright"),
+    ("backslash", "bar"), ("grave", "asciitilde"),
+]
+
+_KEYCODE_TABLE = {}          # keycode -> (name_unshifted, name_shifted)
+_KEYSYM_TO_KEYCODE = {}      # keysym name -> (keycode, shifted?)
+
+
+def _assign(keycode, unshifted, shifted=None):
+    if shifted is None:
+        shifted = unshifted
+    _KEYCODE_TABLE[keycode] = (unshifted, shifted)
+    _KEYSYM_TO_KEYCODE.setdefault(unshifted, (keycode, False))
+    if shifted != unshifted:
+        _KEYSYM_TO_KEYCODE.setdefault(shifted, (keycode, True))
+
+
+def _build_keyboard():
+    # The paper's pinned keycodes.
+    _assign(198, "w", "W")
+    _assign(197, "1", "exclam")
+    _assign(174, "Shift_L")
+    # Digit row (skipping the pinned "1").
+    digit_codes = {"2": 199, "3": 200, "4": 201, "5": 202, "6": 203,
+                   "7": 204, "8": 205, "9": 206, "0": 196}
+    for pair in _SHIFT_PAIRS:
+        unshifted, shifted = pair
+        if unshifted in digit_codes:
+            _assign(digit_codes[unshifted], unshifted, shifted)
+    _assign(207, "minus", "underscore")
+    _assign(208, "equal", "plus")
+    # Letter rows (w is pinned above).
+    letters = "qertyuiopasdfghjklzxcvbnm"
+    code = 209
+    for letter in letters:
+        _assign(code, letter, letter.upper())
+        code += 1
+    # Punctuation.
+    _assign(234, "semicolon", "colon")
+    _assign(235, "apostrophe", "quotedbl")
+    _assign(236, "comma", "less")
+    _assign(237, "period", "greater")
+    _assign(238, "slash", "question")
+    _assign(239, "bracketleft", "braceleft")
+    _assign(240, "bracketright", "braceright")
+    _assign(241, "backslash", "bar")
+    _assign(242, "grave", "asciitilde")
+    _assign(243, "space")
+    # Control keys.
+    _assign(189, "Return")
+    _assign(190, "Tab")
+    _assign(188, "BackSpace")
+    _assign(187, "Escape")
+    _assign(186, "Delete")
+    _assign(171, "Shift_R")
+    _assign(175, "Control_L")
+    _assign(176, "Caps_Lock")
+    _assign(177, "Meta_L")
+    _assign(170, "Up")
+    _assign(169, "Down")
+    _assign(167, "Left")
+    _assign(168, "Right")
+    _assign(166, "Home")
+    _assign(165, "End")
+    for i in range(1, 13):
+        _assign(85 + i, "F%d" % i)
+
+
+_build_keyboard()
+
+
+def keycode_to_keysym(keycode, shifted=False):
+    """Keycode (+ shift level) -> keysym value."""
+    entry = _KEYCODE_TABLE.get(keycode)
+    if entry is None:
+        return NoSymbol
+    return string_to_keysym(entry[1] if shifted else entry[0])
+
+
+def keysym_to_keycode(name_or_value):
+    """Keysym (name or value) -> (keycode, needs_shift); (0, False) if none."""
+    if isinstance(name_or_value, int):
+        name = keysym_to_string(name_or_value)
+    else:
+        name = name_or_value
+    entry = _KEYSYM_TO_KEYCODE.get(name)
+    if entry is None and len(name) == 1:
+        entry = _KEYSYM_TO_KEYCODE.get(_PUNCT_NAMES.get(name, name))
+    return entry if entry is not None else (0, False)
+
+
+def char_to_keycode(ch):
+    """Character -> (keycode, needs_shift) for synthesizing typing."""
+    if ch == " ":
+        return keysym_to_keycode("space")
+    if ch == "\n" or ch == "\r":
+        return keysym_to_keycode("Return")
+    if ch == "\t":
+        return keysym_to_keycode("Tab")
+    name = _PUNCT_NAMES.get(ch, ch)
+    return keysym_to_keycode(name)
+
+
+def lookup_string(keycode, shifted=False):
+    """``XLookupString``: (ascii text, keysym value) for a key event.
+
+    Modifier keys and function keys produce empty text, like the real
+    call; printable keysyms produce their character.
+    """
+    value = keycode_to_keysym(keycode, shifted)
+    if value == NoSymbol:
+        return "", NoSymbol
+    if 32 <= value < 256:
+        return chr(value), value
+    if value == 0xFF0D:
+        return "\r", value
+    if value == 0xFF09:
+        return "\t", value
+    if value == 0xFF08:
+        return "\b", value
+    return "", value

@@ -1,0 +1,169 @@
+"""XPM (X PixMap) and XBM (X BitMap) file formats.
+
+The paper ships an extended String-to-Bitmap converter: try the file as
+a standard X bitmap (XBM) first, and if that fails check whether it is
+in Xpm format.  Both parsers live here, plus an XPM writer used by the
+examples to save framebuffer screenshots.
+"""
+
+import re
+
+import numpy
+
+from repro.tcl.errors import TclError
+from repro.xlib.colors import alloc_color, ColorError
+
+
+class ImageFormatError(TclError):
+    """Raised when a file is in neither expected format."""
+
+
+_QUOTED = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+TRANSPARENT = 0xFF000000  # sentinel pixel for 'None' XPM cells
+
+
+def parse_xpm(text):
+    """Parse XPM2/XPM3 text into a (height, width) uint32 pixel array.
+
+    Transparent cells ('None') get the TRANSPARENT sentinel so callers
+    can composite against a background.
+    """
+    strings = _QUOTED.findall(text)
+    if not strings:
+        # XPM2: "! XPM2" header, then unquoted lines.
+        lines = [l for l in text.splitlines() if l.strip()]
+        if lines and lines[0].lstrip().startswith("!"):
+            strings = lines[1:]
+    if not strings:
+        raise ImageFormatError("not an XPM file")
+    header = strings[0].split()
+    if len(header) < 4:
+        raise ImageFormatError("bad XPM header %r" % strings[0])
+    try:
+        width, height, ncolors, cpp = (int(v) for v in header[:4])
+    except ValueError:
+        raise ImageFormatError("bad XPM header %r" % strings[0])
+    if len(strings) < 1 + ncolors + height:
+        raise ImageFormatError("truncated XPM file")
+    colors = {}
+    for line in strings[1 : 1 + ncolors]:
+        chars = line[:cpp]
+        rest = line[cpp:].split()
+        pixel = None
+        # Color entries: key/value pairs like "c red m black s name".
+        i = 0
+        while i + 1 < len(rest) + 1 and i < len(rest):
+            key = rest[i]
+            if key in ("c", "m", "g", "g4") and i + 1 < len(rest):
+                value = rest[i + 1]
+                if key == "c":
+                    pixel = _xpm_color(value)
+                    break
+                if pixel is None:
+                    pixel = _xpm_color(value)
+                i += 2
+            elif key == "s" and i + 1 < len(rest):
+                i += 2
+            else:
+                i += 1
+        if pixel is None:
+            raise ImageFormatError("bad XPM color line %r" % line)
+        colors[chars] = pixel
+    image = numpy.zeros((height, width), dtype=numpy.uint32)
+    for row, line in enumerate(strings[1 + ncolors : 1 + ncolors + height]):
+        for col in range(width):
+            chars = line[col * cpp : (col + 1) * cpp]
+            if chars not in colors:
+                raise ImageFormatError(
+                    "bad XPM pixel %r at (%d, %d)" % (chars, col, row)
+                )
+            image[row, col] = colors[chars]
+    return image
+
+
+def _xpm_color(value):
+    if value.lower() == "none":
+        return TRANSPARENT
+    try:
+        return alloc_color(value)
+    except ColorError:
+        raise ImageFormatError('bad XPM color "%s"' % value)
+
+
+def write_xpm(image, name="screenshot"):
+    """Render a pixel array to XPM3 text (used to save screenshots)."""
+    height, width = image.shape
+    unique = sorted(set(int(p) for p in image.flat))
+    # Printable, XPM-safe palette characters.
+    alphabet = (
+        ".#abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        "0123456789+-*/<>,:;=@$%&()[]"
+    )
+    cpp = 1 if len(unique) <= len(alphabet) else 2
+    codes = {}
+    for i, pixel in enumerate(unique):
+        if cpp == 1:
+            codes[pixel] = alphabet[i]
+        else:
+            codes[pixel] = (alphabet[i // len(alphabet)]
+                            + alphabet[i % len(alphabet)])
+    lines = ["/* XPM */", "static char * %s[] = {" % name,
+             '"%d %d %d %d",' % (width, height, len(unique), cpp)]
+    for pixel in unique:
+        if pixel == TRANSPARENT:
+            lines.append('"%s\tc None",' % codes[pixel])
+        else:
+            lines.append('"%s\tc #%06X",' % (codes[pixel], pixel))
+    for row in range(height):
+        body = "".join(codes[int(image[row, col])] for col in range(width))
+        suffix = "," if row < height - 1 else ""
+        lines.append('"%s"%s' % (body, suffix))
+    lines.append("};")
+    return "\n".join(lines) + "\n"
+
+
+_XBM_DEFINE = re.compile(r"#define\s+\w*?_?(width|height)\s+(\d+)")
+_XBM_BYTES = re.compile(r"0[xX][0-9a-fA-F]+|\d+")
+
+
+def parse_xbm(text):
+    """Parse an XBM bitmap into a (height, width) 0/1 uint32 array."""
+    dims = {}
+    for match in _XBM_DEFINE.finditer(text):
+        dims[match.group(1)] = int(match.group(2))
+    if "width" not in dims or "height" not in dims:
+        raise ImageFormatError("not an XBM file (missing width/height)")
+    brace = text.find("{")
+    if brace < 0:
+        raise ImageFormatError("not an XBM file (missing data)")
+    data = [int(tok, 0) for tok in _XBM_BYTES.findall(text[brace:])]
+    width, height = dims["width"], dims["height"]
+    bytes_per_row = (width + 7) // 8
+    if len(data) < bytes_per_row * height:
+        raise ImageFormatError("truncated XBM data")
+    image = numpy.zeros((height, width), dtype=numpy.uint32)
+    for row in range(height):
+        for col in range(width):
+            byte = data[row * bytes_per_row + col // 8]
+            if byte & (1 << (col % 8)):  # XBM is LSB-first
+                image[row, col] = 1
+    return image
+
+
+def read_image_file(path):
+    """The extended converter's logic: try XBM first, then XPM.
+
+    Returns (image, kind) where kind is "xbm" or "xpm".
+    """
+    try:
+        with open(path, "r") as handle:
+            text = handle.read()
+    except OSError as err:
+        raise ImageFormatError('cannot read image file "%s": %s'
+                               % (path, err.strerror))
+    try:
+        return parse_xbm(text), "xbm"
+    except ImageFormatError:
+        pass
+    return parse_xpm(text), "xpm"

@@ -1,0 +1,114 @@
+"""X protocol constants: event types, masks, and modes.
+
+Values match the real ``X.h`` so traces read naturally next to X11
+documentation (the paper assumes familiarity with [7]/[8], the O'Reilly
+Xlib and Xt volumes).
+"""
+
+# Event types (X.h)
+KeyPress = 2
+KeyRelease = 3
+ButtonPress = 4
+ButtonRelease = 5
+MotionNotify = 6
+EnterNotify = 7
+LeaveNotify = 8
+FocusIn = 9
+FocusOut = 10
+Expose = 12
+VisibilityNotify = 15
+CreateNotify = 16
+DestroyNotify = 17
+UnmapNotify = 18
+MapNotify = 19
+ConfigureNotify = 22
+PropertyNotify = 28
+SelectionClear = 29
+SelectionRequest = 30
+SelectionNotify = 31
+ClientMessage = 33
+
+EVENT_NAMES = {
+    KeyPress: "KeyPress",
+    KeyRelease: "KeyRelease",
+    ButtonPress: "ButtonPress",
+    ButtonRelease: "ButtonRelease",
+    MotionNotify: "MotionNotify",
+    EnterNotify: "EnterNotify",
+    LeaveNotify: "LeaveNotify",
+    FocusIn: "FocusIn",
+    FocusOut: "FocusOut",
+    Expose: "Expose",
+    VisibilityNotify: "VisibilityNotify",
+    CreateNotify: "CreateNotify",
+    DestroyNotify: "DestroyNotify",
+    UnmapNotify: "UnmapNotify",
+    MapNotify: "MapNotify",
+    ConfigureNotify: "ConfigureNotify",
+    PropertyNotify: "PropertyNotify",
+    SelectionClear: "SelectionClear",
+    SelectionRequest: "SelectionRequest",
+    SelectionNotify: "SelectionNotify",
+    ClientMessage: "ClientMessage",
+}
+
+# Event masks (X.h)
+NoEventMask = 0
+KeyPressMask = 1 << 0
+KeyReleaseMask = 1 << 1
+ButtonPressMask = 1 << 2
+ButtonReleaseMask = 1 << 3
+EnterWindowMask = 1 << 4
+LeaveWindowMask = 1 << 5
+PointerMotionMask = 1 << 6
+ButtonMotionMask = 1 << 13
+ExposureMask = 1 << 15
+VisibilityChangeMask = 1 << 16
+StructureNotifyMask = 1 << 17
+SubstructureNotifyMask = 1 << 19
+FocusChangeMask = 1 << 21
+PropertyChangeMask = 1 << 22
+
+# Which mask selects which event type.
+EVENT_TO_MASK = {
+    KeyPress: KeyPressMask,
+    KeyRelease: KeyReleaseMask,
+    ButtonPress: ButtonPressMask,
+    ButtonRelease: ButtonReleaseMask,
+    MotionNotify: PointerMotionMask,
+    EnterNotify: EnterWindowMask,
+    LeaveNotify: LeaveWindowMask,
+    FocusIn: FocusChangeMask,
+    FocusOut: FocusChangeMask,
+    Expose: ExposureMask,
+    VisibilityNotify: VisibilityChangeMask,
+    ConfigureNotify: StructureNotifyMask,
+    MapNotify: StructureNotifyMask,
+    UnmapNotify: StructureNotifyMask,
+    DestroyNotify: StructureNotifyMask,
+    PropertyNotify: PropertyChangeMask,
+}
+
+# Modifier / button state bits (X.h)
+ShiftMask = 1 << 0
+LockMask = 1 << 1
+ControlMask = 1 << 2
+Mod1Mask = 1 << 3
+Button1Mask = 1 << 8
+Button2Mask = 1 << 9
+Button3Mask = 1 << 10
+
+Button1 = 1
+Button2 = 2
+Button3 = 3
+Button4 = 4
+Button5 = 5
+
+# Grab modes (Xt popup grab kinds live in repro.xt.shell)
+GrabModeSync = 0
+GrabModeAsync = 1
+
+# Window map states
+IsUnmapped = 0
+IsUnviewable = 1
+IsViewable = 2

@@ -1,0 +1,53 @@
+"""Xt Intrinsics: the toolkit layer Wafe's commands map onto.
+
+Implements the X Toolkit object system the paper builds on: widget
+classes with inherited resource lists, the Xrm resource database,
+converters, translation tables and actions, callback lists, composite/
+constraint geometry management, shells with popup grabs, and the
+application context with its main loop, timeouts and alternate inputs.
+
+The public names mirror the Xt concepts:
+
+* :class:`~repro.xt.app.XtAppContext`
+* :class:`~repro.xt.widget.Widget` / ``Composite`` / ``Constraint``
+* :class:`~repro.xt.shell.ApplicationShell` and friends
+* :class:`~repro.xt.xrm.XrmDatabase`
+* :class:`~repro.xt.translations.TranslationTable`
+* :class:`~repro.xt.callbacks.CallbackList`
+"""
+
+from repro.xt.app import XtAppContext
+from repro.xt.callbacks import CallbackList
+from repro.xt.shell import (
+    ApplicationShell,
+    OverrideShell,
+    Shell,
+    TopLevelShell,
+    TransientShell,
+    GRAB_EXCLUSIVE,
+    GRAB_NONE,
+    GRAB_NONEXCLUSIVE,
+)
+from repro.xt.translations import TranslationTable, parse_translation_table
+from repro.xt.widget import Composite, Constraint, Widget, WidgetError
+from repro.xt.xrm import XrmDatabase
+
+__all__ = [
+    "XtAppContext",
+    "CallbackList",
+    "ApplicationShell",
+    "OverrideShell",
+    "Shell",
+    "TopLevelShell",
+    "TransientShell",
+    "GRAB_EXCLUSIVE",
+    "GRAB_NONE",
+    "GRAB_NONEXCLUSIVE",
+    "TranslationTable",
+    "parse_translation_table",
+    "Composite",
+    "Constraint",
+    "Widget",
+    "WidgetError",
+    "XrmDatabase",
+]

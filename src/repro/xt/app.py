@@ -1,0 +1,311 @@
+"""The application context: event dispatch, timeouts, alternate inputs.
+
+``XtAppContext`` owns the displays, the window->widget registry, global
+actions, the converter registry, the resource database, and the main
+loop.  Wafe's frontend mode hangs off :meth:`add_input`: the backend's
+stdout pipe is registered as an alternate input source, exactly like
+``XtAppAddInput`` in the C implementation, so GUI events and backend
+commands interleave in one loop.
+"""
+
+import select
+import time as _time
+
+from repro.tcl.errors import TclError
+from repro.xlib import xtypes
+from repro.xlib.display import open_display
+from repro.xt.converters import ConverterRegistry
+from repro.xt.xrm import XrmDatabase
+
+
+class XtAppContext:
+    """One application context (XtCreateApplicationContext)."""
+
+    def __init__(self, app_name="wafe", app_class="Wafe",
+                 display_name=":0"):
+        self.app_name = app_name
+        self.app_class = app_class
+        self.default_display = open_display(display_name)
+        self.displays = [self.default_display]
+        self.converters = ConverterRegistry()
+        self.database = XrmDatabase()
+        self.global_actions = {}
+        self._window_widgets = {}
+        self._timeouts = []  # (deadline, id, func, args)
+        self._inputs = {}    # id -> (fd, func)
+        self._work_procs = []
+        self._next_id = 1
+        self._quit = False
+        self.event_count = 0
+        self.dispatch_hook = None  # observe every dispatched event
+
+    # ------------------------------------------------------------------
+    # Displays / widgets
+
+    def use_display(self, name):
+        display = open_display(name)
+        if display not in self.displays:
+            self.displays.append(display)
+        return display
+
+    def register_window(self, window, widget):
+        self._window_widgets[window.wid] = widget
+
+    def unregister_window(self, window):
+        self._window_widgets.pop(window.wid, None)
+
+    def widget_for_window(self, window):
+        if window is None:
+            return None
+        return self._window_widgets.get(window.wid)
+
+    def widget_destroyed(self, widget):
+        """Hook for embedders (Wafe drops its name binding here)."""
+
+    def find_popup_shell(self, name, reference):
+        """Find a popup shell by name among the reference's ancestors'
+        children (how XtPopupSpringLoaded resolves a menu name)."""
+        widget = reference
+        while widget is not None:
+            for child in widget.children:
+                if child.name == name and getattr(child, "is_popup", False):
+                    return child
+            widget = widget.parent
+        return None
+
+    # ------------------------------------------------------------------
+    # Resource database
+
+    def load_resource_string(self, text):
+        self.database.put_lines(text)
+
+    def load_resource_file(self, path):
+        self.database.load_file(path)
+
+    def merge_resources(self, text):
+        """The ``mergeResources`` command: extend the database."""
+        self.database.put_lines(text)
+
+    def query_resource(self, widget, resource_name, resource_class):
+        names = [self.app_name] + widget.name_path()[1:] + [resource_name]
+        classes = [self.app_class] + widget.class_path()[1:] + \
+            [resource_class]
+        return self.database.query(names, classes)
+
+    # ------------------------------------------------------------------
+    # Actions
+
+    def register_action(self, name, func):
+        """XtAppAddActions: func(widget, event, args)."""
+        self.global_actions[name] = func
+
+    def find_action(self, widget, name):
+        action = widget.class_actions().get(name)
+        if action is None:
+            action = self.global_actions.get(name)
+        return action
+
+    # ------------------------------------------------------------------
+    # Timeouts, inputs, work procs
+
+    def add_timeout(self, interval_ms, func, *args):
+        """XtAppAddTimeOut; returns an id usable with remove_timeout."""
+        timeout_id = self._next_id
+        self._next_id += 1
+        deadline = _time.monotonic() + interval_ms / 1000.0
+        self._timeouts.append((deadline, timeout_id, func, args))
+        self._timeouts.sort(key=lambda t: t[0])
+        return timeout_id
+
+    def remove_timeout(self, timeout_id):
+        self._timeouts = [t for t in self._timeouts if t[1] != timeout_id]
+
+    def add_input(self, fileobj, func):
+        """XtAppAddInput: call func(fileobj) when readable."""
+        input_id = self._next_id
+        self._next_id += 1
+        self._inputs[input_id] = (fileobj, func)
+        return input_id
+
+    def remove_input(self, input_id):
+        self._inputs.pop(input_id, None)
+
+    def add_work_proc(self, func):
+        """XtAppAddWorkProc: func() -> True removes itself."""
+        work_id = self._next_id
+        self._next_id += 1
+        self._work_procs.append((work_id, func))
+        return work_id
+
+    def remove_work_proc(self, work_id):
+        self._work_procs = [w for w in self._work_procs if w[0] != work_id]
+
+    # ------------------------------------------------------------------
+    # Event dispatch
+
+    def pending(self):
+        """XtAppPending-ish: X events queued right now."""
+        return sum(d.pending() for d in self.displays)
+
+    def dispatch_event(self, event):
+        """XtDispatchEvent: route one X event to its widget."""
+        self.event_count += 1
+        widget = self.widget_for_window(event.window)
+        if self.dispatch_hook is not None:
+            self.dispatch_hook(widget, event)
+        if widget is None or widget.destroyed:
+            return False
+        if event.type == xtypes.Expose:
+            widget.handle_expose(event)
+            return True
+        if event.type in (xtypes.KeyPress, xtypes.KeyRelease,
+                          xtypes.ButtonPress, xtypes.ButtonRelease):
+            if not widget.is_sensitive():
+                return False
+        def accel_lookup(directive):
+            # Accelerators installed from other widgets fire their
+            # actions on the *source* widget (Xt semantics).  A table
+            # marked #override beats the destination's own bindings;
+            # the default (augment) defers to them.
+            for accel_table, source in widget.accelerator_bindings:
+                if accel_table is None or source.destroyed:
+                    continue
+                if accel_table.directive != directive:
+                    continue
+                hit = accel_table.lookup(event)
+                if hit:
+                    return hit, source
+            return None, widget
+
+        actions, target = accel_lookup("override")
+        if not actions:
+            table = widget.resources.get("translations")
+            if table is not None:
+                progress = getattr(widget, "_translation_progress", None)
+                if progress is None:
+                    progress = widget._translation_progress = {}
+                actions = table.lookup_stateful(event, progress)
+            else:
+                actions = None
+            target = widget
+        if not actions:
+            actions, target = accel_lookup("replace")
+        if not actions:
+            actions, target = accel_lookup("augment")
+        if not actions:
+            return False
+        for name, args in actions:
+            func = self.find_action(target, name)
+            if func is None:
+                # Xt warns about unbound actions; don't abort the list.
+                continue
+            func(target, event, args)
+        return True
+
+    def process_pending(self, max_events=None):
+        """Dispatch every queued X event; returns how many."""
+        count = 0
+        progress = True
+        while progress:
+            progress = False
+            for display in self.displays:
+                while display.pending():
+                    self.dispatch_event(display.next_event())
+                    count += 1
+                    progress = True
+                    if max_events is not None and count >= max_events:
+                        return count
+        return count
+
+    def _run_due_timeouts(self):
+        now = _time.monotonic()
+        fired = 0
+        while self._timeouts and self._timeouts[0][0] <= now:
+            __, __, func, args = self._timeouts.pop(0)
+            func(*args)
+            fired += 1
+        return fired
+
+    def _poll_inputs(self, timeout):
+        if not self._inputs:
+            if timeout:
+                _time.sleep(timeout)
+            return 0
+        entries = list(self._inputs.items())
+        fds = [entry[1][0] for entry in entries]
+        try:
+            readable, __, __ = select.select(fds, [], [], timeout)
+        except (OSError, ValueError):
+            # An input went away; drop closed fds.
+            for input_id, (fd, __) in entries:
+                if getattr(fd, "closed", False):
+                    self._inputs.pop(input_id, None)
+            return 0
+        fired = 0
+        for input_id, (fd, func) in entries:
+            if fd in readable and input_id in self._inputs:
+                func(fd)
+                fired += 1
+        return fired
+
+    def process_one(self, block=True):
+        """XtAppProcessEvent: one X event, timer, or input."""
+        if self.pending():
+            for display in self.displays:
+                if display.pending():
+                    self.dispatch_event(display.next_event())
+                    return True
+        if self._run_due_timeouts():
+            return True
+        timeout = 0.0
+        if block:
+            if self._timeouts:
+                timeout = max(0.0,
+                              self._timeouts[0][0] - _time.monotonic())
+                timeout = min(timeout, 0.1)
+            else:
+                timeout = 0.05
+        if self._poll_inputs(timeout):
+            return True
+        if self._work_procs:
+            work_id, func = self._work_procs[0]
+            if func():
+                self.remove_work_proc(work_id)
+            return True
+        return False
+
+    def main_loop(self, until=None, max_idle=None):
+        """XtAppMainLoop.
+
+        ``until``: optional predicate; the loop ends when it turns true.
+        ``max_idle``: give up after this many consecutive idle polls
+        with no possible event source (prevents hangs in tests and in
+        file-mode scripts whose work is done).
+        """
+        idle = 0
+        while not self._quit:
+            if until is not None and until():
+                return
+            worked = self.process_one(block=True)
+            if worked:
+                idle = 0
+                continue
+            idle += 1
+            has_sources = bool(self._timeouts or self._inputs or
+                               self._work_procs)
+            if not has_sources and self.pending() == 0:
+                return  # nothing can ever happen again
+            if max_idle is not None and idle >= max_idle:
+                return
+
+    def exit_loop(self):
+        """The ``quit`` command."""
+        self._quit = True
+
+    @property
+    def quit_requested(self):
+        return self._quit
+
+
+class XtError(TclError):
+    """Toolkit-level error."""

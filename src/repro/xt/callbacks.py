@@ -1,0 +1,39 @@
+"""Callback lists (XtCallbackList).
+
+A callback resource holds an ordered list of callables invoked with
+``(widget, call_data)``.  Wafe's Callback converter wraps Tcl command
+strings into such callables; ``source`` preserves the original string so
+``getValues`` can read a callback resource back -- the capability the
+paper points out is *not* available in plain Xt ("Opposite to the X
+Toolkit it is possible in Wafe to obtain the value of a callback
+resource").
+"""
+
+
+class CallbackList:
+    """An ordered list of (callable, source-string) callbacks."""
+
+    def __init__(self, items=None, source=""):
+        self._items = list(items) if items else []
+        self.source = source
+
+    def add(self, func, source=""):
+        self._items.append(func)
+        if source:
+            self.source = (self.source + "\n" + source).strip()
+
+    def remove(self, func):
+        self._items = [f for f in self._items if f is not func]
+
+    def call(self, widget, call_data=None):
+        for func in list(self._items):
+            func(widget, call_data)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __bool__(self):
+        return bool(self._items)
+
+    def __repr__(self):  # pragma: no cover
+        return "CallbackList(%d items, %r)" % (len(self._items), self.source)

@@ -1,0 +1,52 @@
+"""The Xt selection mechanism (XtOwnSelection / XtGetSelectionValue).
+
+The Intrinsics' cut-and-paste layer: a widget owns a selection by
+providing a convert procedure; requestors ask for a target type and get
+the value delivered through a callback.  Wafe exposes this as the
+``ownSelection`` / ``getSelectionValue`` / ``disownSelection`` commands.
+"""
+
+
+def own_selection(widget, selection, convert_func, lose_func=None):
+    """Make ``widget`` the owner; ``convert_func(target) -> str``."""
+    display = widget.display()
+
+    def _convert(target):
+        return convert_func(target)
+
+    display.set_selection_owner(selection, widget.window, _convert)
+    if lose_func is not None:
+        widget._selection_lose = (selection, lose_func)
+    return True
+
+
+def disown_selection(widget, selection):
+    display = widget.display()
+    if display.get_selection_owner(selection) is widget.window:
+        display.selections.pop(selection, None)
+
+
+def get_selection_value(widget, selection, target, done_func):
+    """Request a selection; ``done_func(value_or_None)`` fires when the
+    SelectionNotify arrives (synchronously in the simulation)."""
+    display = widget.display()
+    display.convert_selection(selection, target, widget.window)
+    # The simulated server answers immediately; find our notify.
+    from repro.xlib import xtypes
+
+    pending = []
+    value = None
+    answered = False
+    while display.pending():
+        event = display.next_event()
+        if (event.type == xtypes.SelectionNotify
+                and event.window is widget.window
+                and event.selection == selection and not answered):
+            value = event.data if event.property is not None else None
+            answered = True
+        else:
+            pending.append(event)
+    for event in pending:
+        display.put_event(event)
+    done_func(value)
+    return value

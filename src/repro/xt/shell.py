@@ -1,0 +1,226 @@
+"""Shell widgets and the popup mechanism.
+
+Shells are the widgets that talk to the window manager: every Wafe
+program gets a ``topLevel`` ApplicationShell for free, extra
+ApplicationShells can target other displays (the paper's
+``applicationShell top2 dec4:0`` example), and popup shells paired with
+the predefined callbacks (none/exclusive/nonexclusive/popdown/position/
+positionCursor) implement menus and dialogs.
+"""
+
+from repro.xlib.display import open_display
+from repro.xt import resources as R
+from repro.xt.resources import res
+from repro.xt.widget import Composite, WidgetError
+
+GRAB_NONE = "none"
+GRAB_NONEXCLUSIVE = "nonexclusive"
+GRAB_EXCLUSIVE = "exclusive"
+
+
+class Shell(Composite):
+    """Base shell: one child, window-manager interaction."""
+
+    CLASS_NAME = "Shell"
+    IS_SHELL = True
+    RESOURCES = [
+        res("allowShellResize", R.R_BOOLEAN, True),
+        res("overrideRedirect", R.R_BOOLEAN, False),
+        res("saveUnder", R.R_BOOLEAN, False),
+        res("createPopupChildProc", R.R_POINTER, None),
+        res("popupCallback", R.R_CALLBACK),
+        res("popdownCallback", R.R_CALLBACK),
+        res("geometry", R.R_STRING, None),
+    ]
+
+    is_popup = False
+
+    def __init__(self, name, parent, args=None, managed=True, app=None,
+                 display_name=None):
+        self._display = open_display(display_name) if display_name else None
+        self.popped_up = False
+        self.grab_kind = None
+        super().__init__(name, parent, args=args, managed=managed, app=app)
+        if parent is not None:
+            # A shell under another widget is a popup shell: its
+            # subtree realizes lazily on XtPopup.
+            self.is_popup = True
+            self.managed = False
+
+    def preferred_size(self):
+        width = self.resources["width"]
+        height = self.resources["height"]
+        managed = [c for c in self.children
+                   if c.managed and not getattr(c, "is_popup", False)]
+        if (width <= 0 or height <= 0) and managed:
+            # Normally a shell holds one child; with several (legal in
+            # Wafe scripts) it must still cover them all.
+            need_w = need_h = 1
+            for child in managed:
+                cw, ch = child.preferred_size()
+                border = 2 * child.resources["borderWidth"]
+                need_w = max(need_w, child.resources["x"] + cw + border)
+                need_h = max(need_h, child.resources["y"] + ch + border)
+            width = width or need_w
+            height = height or need_h
+        return (max(1, width), max(1, height))
+
+    def _parent_window(self):
+        # Shell windows -- top-level and popup alike -- are children of
+        # the root window, as under a real X server.
+        return None
+
+    def layout(self):
+        """With one managed child, the child fills the shell; with
+        several, children keep their sizes and the shell covers them."""
+        managed = [c for c in self.children
+                   if c.managed and not getattr(c, "is_popup", False)]
+        if not managed or not self.realized or self.window is None:
+            return
+        if len(managed) == 1:
+            child = managed[0]
+            child.resources["x"] = 0
+            child.resources["y"] = 0
+            child.resources["width"] = self.window.width
+            child.resources["height"] = self.window.height
+            if child.window is not None:
+                child.window.configure(x=0, y=0, width=self.window.width,
+                                       height=self.window.height)
+            return
+        need_w, need_h = self.window.width, self.window.height
+        for child in managed:
+            width, height = child.preferred_size()
+            child.resources["width"] = width
+            child.resources["height"] = height
+            if child.window is not None:
+                child.window.configure(width=max(1, width),
+                                       height=max(1, height))
+            border = 2 * child.resources["borderWidth"]
+            need_w = max(need_w, child.resources["x"] + width + border)
+            need_h = max(need_h, child.resources["y"] + height + border)
+        if self.resources["allowShellResize"] and (
+                need_w > self.window.width or need_h > self.window.height):
+            self.resources["width"] = need_w
+            self.resources["height"] = need_h
+            self.window.configure(width=need_w, height=need_h)
+
+    def realize(self):
+        # Shells size themselves around their child before realizing.
+        if not self.realized:
+            width, height = self.preferred_size()
+            self.resources["width"] = width
+            self.resources["height"] = height
+        super().realize()
+        if self.window is not None:
+            self.window.override_redirect = self.resources["overrideRedirect"]
+            if not self.is_popup:
+                # XtRealizeWidget maps a top-level shell immediately;
+                # popup shells wait for XtPopup.
+                self.window.map()
+
+    def child_resized(self, child):
+        """allowShellResize: grow the shell around its child, then make
+        the child fill the shell again."""
+        if self.window is None or not self.resources["allowShellResize"]:
+            return
+        border = 2 * child.resources.get("borderWidth", 0)
+        grow_w = max(self.window.width, child.resources["width"] + border)
+        grow_h = max(self.window.height, child.resources["height"] + border)
+        if grow_w != self.window.width or grow_h != self.window.height:
+            self.resources["width"] = grow_w
+            self.resources["height"] = grow_h
+            self.window.configure(width=grow_w, height=grow_h)
+        self.layout()
+
+    def popup(self, grab_kind=GRAB_NONE):
+        """XtPopup: realize, map, and grab per kind."""
+        if grab_kind not in (GRAB_NONE, GRAB_NONEXCLUSIVE, GRAB_EXCLUSIVE):
+            raise WidgetError('unknown grab kind "%s"' % grab_kind)
+        if not self.realized:
+            self.realize()
+            for child in self.children:
+                if not child.realized:
+                    child.realize()
+        self.call_callbacks("popupCallback", grab_kind)
+        self.popped_up = True
+        self.grab_kind = grab_kind
+        self.window.raise_window()
+        self.window.map()
+        for child in self.children:
+            if child.managed and child.window is not None:
+                child.window.map()
+        if grab_kind in (GRAB_EXCLUSIVE, GRAB_NONEXCLUSIVE):
+            self.display().grab_pointer(
+                self.window, owner_events=(grab_kind == GRAB_NONEXCLUSIVE))
+        return self
+
+    def popdown(self):
+        """XtPopdown: unmap and release grabs."""
+        if not self.popped_up:
+            return
+        self.popped_up = False
+        if self.grab_kind in (GRAB_EXCLUSIVE, GRAB_NONEXCLUSIVE):
+            self.display().ungrab_pointer()
+        self.grab_kind = None
+        if self.window is not None:
+            self.window.unmap()
+        self.call_callbacks("popdownCallback")
+
+    def move_to(self, x, y):
+        """Position the shell (XtMoveWidget on a shell)."""
+        self.resources["x"] = x
+        self.resources["y"] = y
+        if self.window is not None:
+            self.window.configure(x=x, y=y)
+
+    def position_under_cursor(self):
+        display = self.display()
+        self.move_to(display.pointer_x, display.pointer_y)
+
+
+class OverrideShell(Shell):
+    """Bypasses the window manager (menus)."""
+
+    CLASS_NAME = "OverrideShell"
+    RESOURCES = []
+
+    def __init__(self, name, parent, args=None, managed=True, app=None,
+                 display_name=None):
+        super().__init__(name, parent, args=args, managed=managed, app=app,
+                         display_name=display_name)
+        self.resources["overrideRedirect"] = True
+
+
+class WMShell(Shell):
+    CLASS_NAME = "WMShell"
+    RESOURCES = [
+        res("title", R.R_STRING, None),
+        res("iconName", R.R_STRING, None),
+        res("minWidth", R.R_INT, 1),
+        res("minHeight", R.R_INT, 1),
+        res("input", R.R_BOOLEAN, True),
+    ]
+
+
+class TransientShell(WMShell):
+    """Dialogs: transient for another shell."""
+
+    CLASS_NAME = "TransientShell"
+    RESOURCES = [res("transientFor", R.R_WIDGET, None)]
+
+
+class TopLevelShell(WMShell):
+    CLASS_NAME = "TopLevelShell"
+    RESOURCES = [
+        res("iconic", R.R_BOOLEAN, False),
+    ]
+
+
+class ApplicationShell(TopLevelShell):
+    """The root of a widget tree; owns argv and the application class."""
+
+    CLASS_NAME = "ApplicationShell"
+    RESOURCES = [
+        res("argc", R.R_INT, 0),
+        res("argv", R.R_POINTER, None),
+    ]

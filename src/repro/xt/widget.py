@@ -1,0 +1,513 @@
+"""The widget core: classes, resources, lifecycle, and geometry hooks.
+
+Mirrors the Xt object system: ``Core`` (here :class:`Widget`),
+``Composite`` (children + geometry management) and ``Constraint``
+(per-child constraint resources, used by Form).  Python subclassing
+stands in for the C class-record chaining: a widget class's effective
+resource list is the concatenation along the MRO, just as Xt
+concatenates superclass resource lists -- which is what makes
+``XtGetResourceList`` on Label report Core+Simple+ThreeD+Label.
+"""
+
+from repro.tcl.errors import TclError
+from repro.xlib import xtypes
+from repro.xlib import graphics as gfx
+from repro.xt import resources as R
+from repro.xt.callbacks import CallbackList
+from repro.xt.resources import res
+from repro.xt.translations import merge_tables, parse_translation_table
+
+
+class WidgetError(TclError):
+    """Widget-level usage errors (bad parent, duplicate name, ...)."""
+
+
+#: The 18 Core resources (X11R5 ordering, as the paper's
+#: getResourceList output shows them).
+CORE_RESOURCES = [
+    res("destroyCallback", R.R_CALLBACK),
+    res("ancestorSensitive", R.R_BOOLEAN, True),
+    res("x", R.R_POSITION, 0),
+    res("y", R.R_POSITION, 0),
+    res("width", R.R_DIMENSION, 0),
+    res("height", R.R_DIMENSION, 0),
+    res("borderWidth", R.R_DIMENSION, 1),
+    res("sensitive", R.R_BOOLEAN, True),
+    res("screen", R.R_SCREEN, None),
+    res("depth", R.R_INT, 24),
+    res("colormap", R.R_COLORMAP, "default"),
+    res("background", R.R_PIXEL, "XtDefaultBackground"),
+    res("backgroundPixmap", R.R_PIXMAP, None),
+    res("borderColor", R.R_PIXEL, "XtDefaultForeground"),
+    res("borderPixmap", R.R_PIXMAP, None),
+    res("mappedWhenManaged", R.R_BOOLEAN, True),
+    res("translations", R.R_TRANSLATIONS, None),
+    res("accelerators", R.R_ACCELERATORS, None),
+]
+
+
+class Widget:
+    """Core: the base of every widget."""
+
+    CLASS_NAME = "Core"
+    RESOURCES = CORE_RESOURCES
+    CONSTRAINT_RESOURCES = []
+    ACTIONS = {}
+    DEFAULT_TRANSLATIONS = None
+    IS_SHELL = False
+
+    # ------------------------------------------------------------------
+    # Class-level introspection (XtGetResourceList etc.)
+
+    @classmethod
+    def class_resources(cls):
+        """The effective resource list: superclasses first."""
+        cached = cls.__dict__.get("_resource_cache")
+        if cached is not None:
+            return cached
+        lists = []
+        for klass in reversed(cls.__mro__):
+            own = klass.__dict__.get("RESOURCES")
+            if own:
+                lists.append(own)
+        merged = R.merge_resource_lists(*lists)
+        cls._resource_cache = merged
+        return merged
+
+    @classmethod
+    def class_resource_map(cls):
+        cached = cls.__dict__.get("_resource_map_cache")
+        if cached is not None:
+            return cached
+        mapping = {r.name: r for r in cls.class_resources()}
+        cls._resource_map_cache = mapping
+        return mapping
+
+    @classmethod
+    def class_actions(cls):
+        cached = cls.__dict__.get("_action_cache")
+        if cached is not None:
+            return cached
+        actions = {}
+        for klass in reversed(cls.__mro__):
+            own = klass.__dict__.get("ACTIONS")
+            if own:
+                actions.update(own)
+        cls._action_cache = actions
+        return actions
+
+    @classmethod
+    def class_constraint_map(cls):
+        mapping = {}
+        for klass in reversed(cls.__mro__):
+            own = klass.__dict__.get("CONSTRAINT_RESOURCES")
+            if own:
+                for resource in own:
+                    mapping[resource.name] = resource
+        return mapping
+
+    # ------------------------------------------------------------------
+    # Creation
+
+    def __init__(self, name, parent, args=None, managed=True, app=None):
+        self.name = name
+        self.parent = parent
+        self.children = []
+        self.managed = False
+        self.realized = False
+        self.destroyed = False
+        self.window = None
+        self.resources = {}
+        self.constraints = {}
+        # XtInstallAccelerators: (table, source_widget) pairs consulted
+        # when this widget's own translations don't match an event.
+        self.accelerator_bindings = []
+        if parent is not None:
+            self.app = parent.app
+            if self not in parent.children:
+                parent.children.append(self)
+        else:
+            if app is None:
+                raise WidgetError("root widget needs an app context")
+            self.app = app
+        self._initialize_resources(args or {})
+        self.initialize()
+        if managed and parent is not None:
+            parent.manage_child(self)
+
+    def _initialize_resources(self, args):
+        constraint_map = (self.parent.class_constraint_map()
+                          if self.parent is not None else {})
+        resource_map = self.class_resource_map()
+        unknown = [key for key in args
+                   if key not in resource_map and key not in constraint_map]
+        if unknown:
+            raise WidgetError(
+                'unknown resource "%s" for widget class %s'
+                % (unknown[0], self.CLASS_NAME)
+            )
+        converters = self.app.converters
+        for resource in self.class_resources():
+            if resource.name in args:
+                value = converters.convert(self, resource.type,
+                                           args[resource.name])
+            else:
+                from_db = self.app.query_resource(self, resource.name,
+                                                  resource.class_)
+                if from_db is not None:
+                    value = converters.convert(self, resource.type, from_db)
+                else:
+                    value = self._default_for(resource, converters)
+            self.resources[resource.name] = value
+        for resource in constraint_map.values():
+            if resource.name in args:
+                value = converters.convert(self, resource.type,
+                                           args[resource.name])
+            else:
+                value = resource.default
+            self.constraints[resource.name] = value
+        # Wafe/Xt semantics: translations from resources merge onto the
+        # class defaults rather than erasing them.
+        base = (parse_translation_table(self.DEFAULT_TRANSLATIONS)
+                if self.DEFAULT_TRANSLATIONS else None)
+        given = self.resources.get("translations")
+        if given is not None:
+            self.resources["translations"] = merge_tables(base, given)
+        else:
+            self.resources["translations"] = base
+        if self.resources.get("destroyCallback") is None:
+            self.resources["destroyCallback"] = CallbackList()
+
+    def _default_for(self, resource, converters):
+        default = resource.default
+        if isinstance(default, str) and converters.has(resource.type):
+            return converters.convert(self, resource.type, default)
+        if resource.type == R.R_CALLBACK and default is None:
+            return CallbackList()
+        return default
+
+    def initialize(self):
+        """Class initialize hook (after resources are set)."""
+
+    # ------------------------------------------------------------------
+    # Resource access
+
+    def __getitem__(self, name):
+        if name in self.resources:
+            return self.resources[name]
+        if name in self.constraints:
+            return self.constraints[name]
+        raise WidgetError(
+            'widget "%s" (class %s) has no resource "%s"'
+            % (self.name, self.CLASS_NAME, name)
+        )
+
+    def __contains__(self, name):
+        return name in self.resources or name in self.constraints
+
+    def set_values(self, args):
+        """XtSetValues: convert, store, let the class react."""
+        converters = self.app.converters
+        resource_map = self.class_resource_map()
+        constraint_map = (self.parent.class_constraint_map()
+                          if self.parent is not None else {})
+        old = {}
+        changed = []
+        for name, raw in args.items():
+            if name in resource_map:
+                value = converters.convert(self, resource_map[name].type, raw)
+                if name == "translations" and value is not None:
+                    value = merge_tables(self.resources.get("translations"),
+                                         value)
+                old[name] = self.resources.get(name)
+                self.resources[name] = value
+                changed.append(name)
+            elif name in constraint_map:
+                value = converters.convert(self, constraint_map[name].type,
+                                           raw)
+                old[name] = self.constraints.get(name)
+                self.constraints[name] = value
+                changed.append(name)
+            else:
+                raise WidgetError(
+                    'widget "%s" (class %s) has no resource "%s"'
+                    % (self.name, self.CLASS_NAME, name)
+                )
+        self.set_values_hook(old, changed)
+        self._apply_geometry_changes(changed)
+        if self.realized and self.window is not None:
+            if "background" in changed:
+                self.window.background_pixel = self.resources["background"]
+            self.redraw()
+        if self.parent is not None and any(
+                name in constraint_map for name in changed):
+            self.parent.layout()
+
+    def set_values_hook(self, old, changed):
+        """Class hook: react to changed resources."""
+
+    def _apply_geometry_changes(self, changed):
+        geometry = [n for n in changed if n in ("x", "y", "width", "height",
+                                                "borderWidth")]
+        if geometry and self.window is not None:
+            # XtMoveWidget/XtResizeWidget semantics: the change is
+            # applied directly; the parent is not asked to re-layout.
+            self.window.configure(
+                x=self.resources["x"], y=self.resources["y"],
+                width=max(1, self.resources["width"]),
+                height=max(1, self.resources["height"]),
+                border_width=self.resources["borderWidth"],
+            )
+
+    def get_value_string(self, name):
+        """getValues: resource rendered back to a string."""
+        resource_map = self.class_resource_map()
+        constraint_map = (self.parent.class_constraint_map()
+                          if self.parent is not None else {})
+        if name in resource_map:
+            value = self.resources.get(name)
+            if isinstance(value, CallbackList):
+                return value.source
+            if name == "screen":
+                return self.display().name if self.display() else ""
+            return self.app.converters.unconvert(
+                self, resource_map[name].type, value)
+        if name in constraint_map:
+            value = self.constraints.get(name)
+            if hasattr(value, "name"):
+                return value.name  # widget reference (fromVert etc.)
+            return self.app.converters.unconvert(
+                self, constraint_map[name].type, value)
+        raise WidgetError(
+            'widget "%s" (class %s) has no resource "%s"'
+            % (self.name, self.CLASS_NAME, name)
+        )
+
+    # ------------------------------------------------------------------
+    # Hierarchy helpers
+
+    def display(self):
+        widget = self
+        while widget is not None:
+            if getattr(widget, "_display", None) is not None:
+                return widget._display
+            widget = widget.parent
+        return self.app.default_display
+
+    def shell(self):
+        widget = self
+        while widget is not None and not widget.IS_SHELL:
+            widget = widget.parent
+        return widget
+
+    def name_path(self):
+        names = []
+        widget = self
+        while widget is not None:
+            names.append(widget.name)
+            widget = widget.parent
+        return list(reversed(names))
+
+    def class_path(self):
+        classes = []
+        widget = self
+        while widget is not None:
+            classes.append(widget.CLASS_NAME)
+            widget = widget.parent
+        return list(reversed(classes))
+
+    def is_sensitive(self):
+        return bool(self.resources.get("sensitive", True)) and bool(
+            self.resources.get("ancestorSensitive", True))
+
+    def set_sensitive(self, value):
+        self.resources["sensitive"] = value
+        for child in self.children:
+            child.resources["ancestorSensitive"] = value and \
+                self.is_sensitive()
+
+    # ------------------------------------------------------------------
+    # Managing and realizing
+
+    def manage_child(self, child):
+        child.managed = True
+        if self.realized and not child.realized:
+            child.realize()
+            self.layout()
+        elif self.realized:
+            self.layout()
+
+    def unmanage_child(self, child):
+        child.managed = False
+        if child.window is not None:
+            child.window.unmap()
+        if self.realized:
+            self.layout()
+
+    def layout(self):
+        """Composite geometry hook; Core keeps children where they are."""
+
+    def needed_extent(self):
+        """The extent required to show all managed children."""
+        max_x = max_y = 1
+        for child in self.children:
+            if not child.managed or getattr(child, "is_popup", False):
+                continue
+            border = 2 * child.resources.get("borderWidth", 0)
+            max_x = max(max_x, child.resources["x"] +
+                        child.resources["width"] + border)
+            max_y = max(max_y, child.resources["y"] +
+                        child.resources["height"] + border)
+        return max_x + 4, max_y + 4
+
+    def child_resized(self, child):
+        """XtMakeGeometryRequest, simplified: a child grew; re-layout
+        and grow this widget (and its ancestors) to keep it visible."""
+        self.layout()
+        if self.window is None:
+            return
+        need_w, need_h = self.needed_extent()
+        grow_w = max(self.window.width, need_w)
+        grow_h = max(self.window.height, need_h)
+        if grow_w != self.window.width or grow_h != self.window.height:
+            self.resources["width"] = grow_w
+            self.resources["height"] = grow_h
+            self.window.configure(width=grow_w, height=grow_h)
+            if self.parent is not None:
+                self.parent.child_resized(self)
+
+    def request_resize(self, width, height):
+        """A widget asks for a new size; the request propagates up."""
+        self.resources["width"] = width
+        self.resources["height"] = height
+        if self.window is not None:
+            self.window.configure(width=max(1, width), height=max(1, height))
+        if self.parent is not None:
+            self.parent.child_resized(self)
+
+    def preferred_size(self):
+        """Desired (width, height); Core just reports its resources."""
+        return (max(1, self.resources["width"]),
+                max(1, self.resources["height"]))
+
+    def realize(self):
+        if self.realized or self.destroyed:
+            return
+        display = self.display()
+        parent_window = self._parent_window()
+        width, height = self.resources["width"], self.resources["height"]
+        if width <= 0 or height <= 0:
+            pw, ph = self.preferred_size()
+            width = width or pw
+            height = height or ph
+            self.resources["width"], self.resources["height"] = width, height
+        self.window = display.create_window(
+            parent_window, self.resources["x"], self.resources["y"],
+            max(1, width), max(1, height), self.resources["borderWidth"])
+        self.window.background_pixel = self.resources["background"]
+        self.window.select_input(
+            xtypes.KeyPressMask | xtypes.KeyReleaseMask |
+            xtypes.ButtonPressMask | xtypes.ButtonReleaseMask |
+            xtypes.EnterWindowMask | xtypes.LeaveWindowMask |
+            xtypes.PointerMotionMask | xtypes.ExposureMask |
+            xtypes.StructureNotifyMask)
+        self.app.register_window(self.window, self)
+        self.realized = True
+        self.realize_hook()
+        self.layout()
+        for child in self.children:
+            if child.managed and not getattr(child, "is_popup", False):
+                child.realize()
+        # A second pass now that every child window exists: stacking
+        # order and sizes that depend on realized children settle here.
+        self.layout()
+        if self.managed and self.resources["mappedWhenManaged"]:
+            self.window.map()
+
+    def _parent_window(self):
+        """The X window to create this widget's window under."""
+        return self.parent.window if self.parent is not None else None
+
+    def realize_hook(self):
+        """Class hook after the window exists."""
+
+    # ------------------------------------------------------------------
+    # Redisplay
+
+    def handle_expose(self, event):
+        if self.window is not None and self.window.viewable():
+            self.expose(event)
+
+    def expose(self, event):
+        """Class redisplay hook: draw the widget."""
+
+    def redraw(self):
+        if self.window is not None and self.window.viewable():
+            gfx.clear_area(self.window,
+                           pixel=self.resources["background"])
+            self.expose(None)
+
+    # ------------------------------------------------------------------
+    # Callbacks
+
+    def callback_list(self, name):
+        value = self.resources.get(name)
+        if not isinstance(value, CallbackList):
+            value = CallbackList()
+            self.resources[name] = value
+        return value
+
+    def add_callback(self, name, func, source=""):
+        if name not in self.class_resource_map():
+            raise WidgetError(
+                'widget "%s" has no callback resource "%s"'
+                % (self.name, name))
+        self.callback_list(name).add(func, source)
+
+    def call_callbacks(self, name, call_data=None):
+        value = self.resources.get(name)
+        if isinstance(value, CallbackList):
+            value.call(self, call_data)
+
+    # ------------------------------------------------------------------
+    # Destruction (the paper's memory-management component)
+
+    def destroy(self):
+        if self.destroyed:
+            return
+        self.call_callbacks("destroyCallback")
+        for child in list(self.children):
+            child.destroy()
+        self.destroyed = True
+        if self.window is not None:
+            self.app.unregister_window(self.window)
+            self.window.destroy()
+            self.window = None
+        if self.parent is not None and self in self.parent.children:
+            self.parent.children.remove(self)
+        # Free associated resources, as Wafe's memory management does.
+        self.resources.clear()
+        self.constraints.clear()
+        self.accelerator_bindings = []
+        self.app.widget_destroyed(self)
+
+    def __repr__(self):  # pragma: no cover
+        return "<%s %r>" % (self.CLASS_NAME, self.name)
+
+
+class Composite(Widget):
+    """A widget that manages children (XtComposite)."""
+
+    CLASS_NAME = "Composite"
+    RESOURCES = [
+        res("children", R.R_POINTER, None),
+        res("numChildren", R.R_INT, 0),
+        res("insertPosition", R.R_POINTER, None),
+    ]
+
+
+class Constraint(Composite):
+    """A composite with per-child constraint resources (XtConstraint)."""
+
+    CLASS_NAME = "Constraint"
+    RESOURCES = []

@@ -1,0 +1,169 @@
+"""The Xrm resource database: files, wildcards, precedence, merging.
+
+This is what stands behind resource files, ``-xrm`` command line options
+and Wafe's ``mergeResources`` command.  Specifications look like::
+
+    *Font: fixed
+    wafe.form.quit.label: Quit
+    *Command.background: gray75
+
+Components are separated by ``.`` (tight) or ``*`` (loose); each
+component can match a widget *name* or its *class*.  Lookup follows the
+X11R5 precedence rules: earlier (closer to the root) levels dominate,
+name matches beat class matches beat ``?``, tight bindings beat loose
+skips, and among equal matches the later-added entry wins (which gives
+``mergeResources`` its override behaviour).
+"""
+
+
+class _Entry:
+    __slots__ = ("bindings", "components", "value", "serial")
+
+    def __init__(self, bindings, components, value, serial):
+        self.bindings = bindings      # '.' or '*' before each component
+        self.components = components  # names/classes/'?'
+        self.value = value
+        self.serial = serial
+
+
+def parse_specifier(spec):
+    """Split ``a*B.c`` into (bindings, components)."""
+    bindings = []
+    components = []
+    current = []
+    pending = "."
+    for ch in spec.strip():
+        if ch in ".*":
+            if current:
+                bindings.append(pending)
+                components.append("".join(current))
+                current = []
+                pending = ch
+            else:
+                # Consecutive separators: '*' absorbs '.'
+                if ch == "*":
+                    pending = "*"
+        else:
+            current.append(ch)
+    if current:
+        bindings.append(pending)
+        components.append("".join(current))
+    return bindings, components
+
+
+class XrmDatabase:
+    """An in-memory resource database."""
+
+    def __init__(self):
+        self._entries = []
+        self._serial = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def put(self, spec, value):
+        bindings, components = parse_specifier(spec)
+        if not components:
+            return
+        self._serial += 1
+        self._entries.append(_Entry(bindings, components, value,
+                                    self._serial))
+
+    def put_lines(self, text):
+        """Load resource-file syntax: one ``spec: value`` per line."""
+        pending = ""
+        for raw in text.splitlines():
+            line = pending + raw
+            pending = ""
+            if line.endswith("\\"):
+                pending = line[:-1]
+                continue
+            stripped = line.strip()
+            if not stripped or stripped.startswith("!"):
+                continue
+            if stripped.startswith("#"):
+                continue  # #include is not supported
+            colon = line.find(":")
+            if colon < 0:
+                continue
+            spec = line[:colon]
+            value = line[colon + 1 :].lstrip(" \t")
+            self.put(spec, value.rstrip("\n"))
+
+    def load_file(self, path):
+        with open(path, "r") as handle:
+            self.put_lines(handle.read())
+
+    def merge(self, other):
+        """Entries from ``other`` override equal matches here."""
+        for entry in other._entries:
+            self._serial += 1
+            self._entries.append(_Entry(entry.bindings, entry.components,
+                                        entry.value, self._serial))
+
+    # ------------------------------------------------------------------
+
+    def query(self, names, classes):
+        """Look up a resource.
+
+        ``names``/``classes`` run from the application down to the
+        resource name itself, e.g. ``["wafe", "form", "quit", "label"]``
+        and ``["Wafe", "Form", "Command", "Label"]``.
+        """
+        best_score = None
+        best_value = None
+        best_serial = -1
+        for entry in self._entries:
+            score = _match(entry, 0, names, classes, 0)
+            if score is None:
+                continue
+            key = tuple(score)
+            if (best_score is None or key > best_score
+                    or (key == best_score and entry.serial > best_serial)):
+                best_score = key
+                best_value = entry.value
+                best_serial = entry.serial
+        return best_value
+
+
+# Per-level match quality (leftmost level most significant).
+_NAME_TIGHT = 6
+_CLASS_TIGHT = 5
+_ANY_TIGHT = 4
+_NAME_LOOSE = 3
+_CLASS_LOOSE = 2
+_ANY_LOOSE = 1
+_SKIPPED = 0
+
+
+def _match(entry, ei, names, classes, qi):
+    """Recursive matcher; returns the per-level score list or None."""
+    n_entry = len(entry.components)
+    n_query = len(names)
+    if ei == n_entry:
+        return [] if qi == n_query else None
+    if qi == n_query:
+        return None
+    component = entry.components[ei]
+    binding = entry.bindings[ei]
+    results = []
+    # Try to match this component at this query level.
+    quality = None
+    if component == names[qi]:
+        quality = _NAME_TIGHT if binding == "." else _NAME_LOOSE
+    elif component == classes[qi]:
+        quality = _CLASS_TIGHT if binding == "." else _CLASS_LOOSE
+    elif component == "?":
+        quality = _ANY_TIGHT if binding == "." else _ANY_LOOSE
+    if quality is not None:
+        rest = _match(entry, ei + 1, names, classes, qi + 1)
+        if rest is not None:
+            results.append([quality] + rest)
+    # A loose binding may skip this query level entirely.
+    if binding == "*":
+        rest = _match(entry, ei, names, classes, qi + 1)
+        if rest is not None:
+            results.append([_SKIPPED] + rest)
+    if not results:
+        return None
+    return max(results, key=tuple)

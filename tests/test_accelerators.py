@@ -1,0 +1,107 @@
+"""Tests for accelerators: keyboard shortcuts redirected to widgets.
+
+The ``accelerators`` Core resource holds a translation-like table; once
+installed on a destination widget (XtInstallAccelerators), events that
+reach the destination fire the *source* widget's actions -- the classic
+use is typing into a form and having a keystroke press a button.
+"""
+
+import pytest
+
+from repro.xlib import close_all_displays
+from repro.core import make_wafe
+
+
+@pytest.fixture
+def wafe():
+    close_all_displays()
+    return make_wafe()
+
+
+def lines_of(wafe):
+    lines = []
+    wafe.interp.write_output = lambda t: lines.append(t.rstrip("\n"))
+    return lines
+
+
+class TestAccelerators:
+    def test_keystroke_on_form_presses_button(self, wafe):
+        lines = lines_of(wafe)
+        wafe.run_script("form f topLevel")
+        wafe.run_script("asciiText input f editType edit width 120")
+        # #override lets the shortcut beat the text widget's catch-all
+        # <KeyPress> binding, as in Xt.
+        wafe.run_script("command go f fromVert input "
+                        "callback {echo activated} "
+                        "accelerators {#override\\n"
+                        "<Key>F1: set() notify() unset()}")
+        wafe.run_script("installAccelerators input go")
+        wafe.run_script("realize")
+        text = wafe.lookup_widget("input")
+        from repro.xlib.keysym import keysym_to_keycode
+
+        f1, __ = keysym_to_keycode("F1")
+        wafe.app.default_display.press_key(text.window, f1)
+        wafe.app.process_pending()
+        assert lines == ["activated"]
+
+    def test_own_translations_take_precedence(self, wafe):
+        lines = lines_of(wafe)
+        wafe.run_script("label dest topLevel")
+        wafe.run_script("action dest override {<Key>a: exec(echo own)}")
+        wafe.run_script("command src topLevel -unmanaged "
+                        "callback {echo accel} "
+                        'accelerators "<Key>a: exec(echo accel)"')
+        wafe.run_script("installAccelerators dest src")
+        wafe.run_script("realize")
+        dest = wafe.lookup_widget("dest")
+        wafe.app.default_display.type_string(dest.window, "a")
+        wafe.app.process_pending()
+        assert lines == ["own"]
+
+    def test_accelerator_fires_on_source_widget(self, wafe):
+        # %w in an exec accelerator names the *source* widget.
+        lines = lines_of(wafe)
+        wafe.run_script("label dest topLevel")
+        wafe.run_script("command src topLevel -unmanaged "
+                        'accelerators "<Key>q: exec(echo from %w)"')
+        wafe.run_script("installAccelerators dest src")
+        wafe.run_script("realize")
+        dest = wafe.lookup_widget("dest")
+        wafe.app.default_display.type_string(dest.window, "q")
+        wafe.app.process_pending()
+        assert lines == ["from src"]
+
+    def test_install_all_accelerators_walks_subtree(self, wafe):
+        lines = lines_of(wafe)
+        wafe.run_script("label dest topLevel")
+        wafe.run_script("form menu topLevel -unmanaged")
+        wafe.run_script("command one menu "
+                        'accelerators "<Key>1: exec(echo one)"')
+        wafe.run_script("command two menu "
+                        'accelerators "<Key>2: exec(echo two)"')
+        wafe.run_script("installAllAccelerators dest menu")
+        wafe.run_script("realize")
+        dest = wafe.lookup_widget("dest")
+        wafe.app.default_display.type_string(dest.window, "21")
+        wafe.app.process_pending()
+        assert lines == ["two", "one"]
+
+    def test_destroyed_source_disables_binding(self, wafe):
+        lines = lines_of(wafe)
+        wafe.run_script("label dest topLevel")
+        wafe.run_script("command src topLevel -unmanaged "
+                        'accelerators "<Key>z: exec(echo boom)"')
+        wafe.run_script("installAccelerators dest src")
+        wafe.run_script("realize")
+        wafe.run_script("destroyWidget src")
+        dest = wafe.lookup_widget("dest")
+        wafe.app.default_display.type_string(dest.window, "z")
+        wafe.app.process_pending()
+        assert lines == []
+
+    def test_accelerators_resource_readback(self, wafe):
+        wafe.run_script('command b topLevel '
+                        'accelerators "<Key>F2: set()"')
+        value = wafe.run_script("gV b accelerators")
+        assert "<Key>F2" in value

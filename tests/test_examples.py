@@ -1,0 +1,60 @@
+"""Integration tests: every shipped example runs green as a subprocess."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "primefactors.py",
+    "xwafeping.py",
+    "xdirtree.py",
+    "xev_label.py",
+    "compound_strings.py",
+    "xwafedesign.py",
+    "polyglot_sh.py",
+    "xnetstats.py",
+    "xwafecf.py",
+    "xbm_viewer.py",
+    "xwafemail.py",
+]
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, tmp_path):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, example))
+    result = subprocess.run(
+        [sys.executable, path],
+        cwd=tmp_path,  # screenshots land in the temp dir
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        timeout=120,
+    )
+    output = result.stdout.decode("utf-8", "replace")
+    assert result.returncode == 0, "%s failed:\n%s" % (example, output)
+    assert output.strip(), "%s produced no output" % example
+
+
+def test_xev_example_output_matches_paper(tmp_path):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "xev_label.py"))
+    result = subprocess.run([sys.executable, path], cwd=tmp_path,
+                            stdout=subprocess.PIPE, timeout=60)
+    output = result.stdout.decode()
+    for line in ("198 w w", "174 Shift_L", "197 ! exclam"):
+        assert line in output
+
+
+def test_quickstart_writes_screenshot(tmp_path):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    subprocess.run([sys.executable, path], cwd=tmp_path, timeout=60,
+                   stdout=subprocess.DEVNULL, check=True)
+    screenshot = tmp_path / "quickstart.xpm"
+    assert screenshot.exists()
+    from repro.xlib.xpm import parse_xpm
+
+    image = parse_xpm(screenshot.read_text())
+    assert image.shape[0] > 10 and image.shape[1] > 10

@@ -1,0 +1,142 @@
+"""Failure injection: the frontend must survive misbehaving backends."""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.xlib import close_all_displays
+from repro.core import make_wafe
+from repro.core.frontend import Frontend
+
+
+@pytest.fixture
+def wafe():
+    close_all_displays()
+    return make_wafe()
+
+
+def backend(tmp_path, body, name="bad.py"):
+    script = tmp_path / name
+    script.write_text(textwrap.dedent(body))
+    return [sys.executable, "-u", str(script)]
+
+
+class TestBackendFailures:
+    def test_bad_commands_reported_not_fatal(self, wafe, tmp_path):
+        errors = []
+        wafe.error_sink = errors.append
+        command = backend(tmp_path, '''
+            print("%this is not a command")
+            print("%label ok topLevel")
+            print("%set done 1")
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("done"),
+                       max_idle=400)
+        front.close()
+        assert errors  # the bad line was reported...
+        assert wafe.run_script("widgetExists ok") == "1"  # ...and survived
+
+    def test_backend_crash_mid_stream(self, wafe, tmp_path):
+        command = backend(tmp_path, '''
+            import sys
+            print("%label l topLevel")
+            sys.stdout.flush()
+            raise SystemExit(3)
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(max_idle=400)
+        assert front.eof_seen
+        assert wafe.run_script("widgetExists l") == "1"
+        front.close()
+
+    def test_oversized_line_rejected_cleanly(self, wafe, tmp_path):
+        errors = []
+        wafe.error_sink = errors.append
+        command = backend(tmp_path, '''
+            import sys
+            sys.stdout.write("%set big {" + "x" * 200000 + "}\\n")
+            sys.stdout.write("%set after 1\\n")
+            sys.stdout.flush()
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(max_idle=600)
+        front.close()
+        assert any("exceeds" in e for e in errors)
+
+    def test_partial_line_at_eof_is_dropped(self, wafe, tmp_path):
+        command = backend(tmp_path, '''
+            import sys
+            print("%set complete 1")
+            sys.stdout.write("%set truncated")  # no newline, then exit
+            sys.stdout.flush()
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(max_idle=400)
+        front.close()
+        assert wafe.run_script("set complete") == "1"
+        assert wafe.run_script("info exists truncated") == "0"
+
+    def test_echo_after_backend_death_is_safe(self, wafe, tmp_path):
+        command = backend(tmp_path, 'print("%set up 1")')
+        front = Frontend(wafe, command)
+        wafe.main_loop(max_idle=400)
+        front.wait(timeout=5)
+        # Callback firing after the pipe is gone must not raise.
+        wafe.echo("into the void")
+        front.close()
+
+    def test_binary_garbage_passthrough(self, wafe, tmp_path):
+        lines = []
+        command = backend(tmp_path, '''
+            import sys
+            sys.stdout.buffer.write(b"\\xff\\xfe garbage\\n")
+            sys.stdout.buffer.write(b"%set ok 1\\n")
+            sys.stdout.buffer.flush()
+        ''')
+        front = Frontend(wafe, command, passthrough=lines.append)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("ok"),
+                       max_idle=400)
+        front.close()
+        assert wafe.run_script("set ok") == "1"
+        assert len(lines) == 1
+
+
+class TestScriptErrorPaths:
+    def test_error_in_callback_does_not_stop_dispatch(self, wafe):
+        errors = []
+        wafe.error_sink = errors.append
+        wafe.run_script("form f topLevel")
+        wafe.run_script("command bad f callback {error boom}")
+        wafe.run_script("command good f fromVert bad callback {set ok 1}")
+        wafe.run_script("realize")
+        for name in ("bad", "good"):
+            widget = wafe.lookup_widget(name)
+            x, y = widget.window.absolute_origin()
+            wafe.app.default_display.click(x + 2, y + 2)
+            wafe.app.process_pending()
+        assert errors == ["boom"]
+        assert wafe.run_script("set ok") == "1"
+
+    def test_error_in_exec_action_reported(self, wafe):
+        errors = []
+        wafe.error_sink = errors.append
+        wafe.run_script("label l topLevel")
+        wafe.run_script("action l override {<Btn1Down>: exec(nosuchcmd)}")
+        wafe.run_script("realize")
+        widget = wafe.lookup_widget("l")
+        x, y = widget.window.absolute_origin()
+        wafe.app.default_display.press_button(x + 1, y + 1)
+        wafe.app.process_pending()
+        assert any("nosuchcmd" in e for e in errors)
+
+    def test_destroy_inside_own_callback(self, wafe):
+        # A button whose callback destroys itself: classic re-entrancy.
+        wafe.run_script("command b topLevel callback {destroyWidget b}")
+        wafe.run_script("realize")
+        widget = wafe.lookup_widget("b")
+        x, y = widget.window.absolute_origin()
+        wafe.app.default_display.click(x + 2, y + 2)
+        wafe.app.process_pending()
+        assert wafe.run_script("widgetExists b") == "0"

@@ -1,0 +1,114 @@
+"""Tests for Grip widgets and Paned drag-resizing."""
+
+import pytest
+
+from repro.xlib import close_all_displays
+from repro.core import make_wafe
+
+
+@pytest.fixture
+def wafe():
+    close_all_displays()
+    return make_wafe()
+
+
+def build_paned(wafe):
+    wafe.run_script("paned p topLevel width 120")
+    wafe.run_script("label top p label {top pane} height 40")
+    wafe.run_script("label bottom p label {bottom pane} height 40")
+    wafe.run_script("realize")
+    return wafe.lookup_widget("p")
+
+
+class TestGrips:
+    def test_grip_created_between_panes(self, wafe):
+        paned = build_paned(wafe)
+        top = wafe.lookup_widget("top")
+        assert top in paned._grips
+        grip = paned._grips[top]
+        assert grip.realized and grip.window is not None
+        # The grip sits at the boundary below the top pane.
+        assert grip.resources["y"] >= top.resources["height"] - 2
+
+    def test_no_grip_after_last_pane(self, wafe):
+        paned = build_paned(wafe)
+        bottom = wafe.lookup_widget("bottom")
+        assert bottom not in paned._grips
+
+    def test_show_grips_false_suppresses(self, wafe):
+        wafe.run_script("paned p topLevel showGrips false")
+        wafe.run_script("label a p")
+        wafe.run_script("label b p")
+        wafe.run_script("realize")
+        assert wafe.lookup_widget("p")._grips == {}
+
+    def test_drag_grip_resizes_pane(self, wafe):
+        paned = build_paned(wafe)
+        top = wafe.lookup_widget("top")
+        bottom = wafe.lookup_widget("bottom")
+        grip = paned._grips[top]
+        before_height = top.resources["height"]
+        before_bottom_y = bottom.resources["y"]
+        gx, gy = grip.window.absolute_origin()
+        display = wafe.app.default_display
+        # Press on the grip, drag 25px down, release.
+        display.press_button(gx + 3, gy + 3)
+        wafe.app.process_pending()
+        display.motion(gx + 3, gy + 3 + 25)
+        wafe.app.process_pending()
+        display.release_button(gx + 3, gy + 3 + 25)
+        wafe.app.process_pending()
+        assert top.constraints["preferredPaneSize"] == before_height + 25
+        assert top.resources["height"] == before_height + 25
+        assert bottom.resources["y"] == before_bottom_y + 25
+
+    def test_drag_respects_min_constraint(self, wafe):
+        wafe.run_script("paned p topLevel width 100")
+        wafe.run_script("label a p height 50 min 30")
+        wafe.run_script("label b p height 50")
+        wafe.run_script("realize")
+        paned = wafe.lookup_widget("p")
+        pane = wafe.lookup_widget("a")
+        grip = paned._grips[pane]
+        gx, gy = grip.window.absolute_origin()
+        display = wafe.app.default_display
+        display.press_button(gx + 2, gy + 2)
+        display.motion(gx + 2, gy - 100)  # far above the minimum
+        display.release_button(gx + 2, gy - 100)
+        wafe.app.process_pending()
+        assert pane.resources["height"] == 30
+
+    def test_grip_creation_command(self, wafe):
+        wafe.run_script("grip g topLevel")
+        assert wafe.lookup_widget("g").CLASS_NAME == "Grip"
+
+
+class TestImplicitGrab:
+    def test_drag_outside_window_still_delivers(self, wafe):
+        # Motion events during a button drag go to the pressed widget
+        # even when the pointer leaves it (the implicit pointer grab).
+        wafe.run_script("set moves 0")
+        wafe.run_script("label pad topLevel width 50 height 30")
+        wafe.run_script("action pad override "
+                        "{<BtnMotion>: exec(incr moves)}")
+        wafe.run_script("realize")
+        widget = wafe.lookup_widget("pad")
+        x, y = widget.window.absolute_origin()
+        display = wafe.app.default_display
+        display.press_button(x + 5, y + 5)
+        display.motion(x + 500, y + 300)  # way outside the widget
+        display.motion(x + 600, y + 300)
+        display.release_button(x + 600, y + 300)
+        wafe.app.process_pending()
+        assert wafe.run_script("set moves") == "2"
+
+    def test_grab_cleared_after_release(self, wafe):
+        wafe.run_script("label pad topLevel")
+        wafe.run_script("realize")
+        widget = wafe.lookup_widget("pad")
+        x, y = widget.window.absolute_origin()
+        display = wafe.app.default_display
+        display.press_button(x + 2, y + 2)
+        assert display.implicit_grab is widget.window
+        display.release_button(x + 2, y + 2)
+        assert display.implicit_grab is None

@@ -1,0 +1,146 @@
+"""Tests for the percent-code tables (the paper's second and third
+tables): every valid code/event combination, and the invalid ones."""
+
+import pytest
+
+from repro.xlib import close_all_displays, xtypes
+from repro.xlib.events import XEvent
+from repro.core import make_wafe
+from repro.core.percent import (
+    ACTION_CODE_EVENTS,
+    substitute_action,
+    substitute_callback,
+)
+
+
+@pytest.fixture
+def wafe():
+    close_all_displays()
+    return make_wafe()
+
+
+@pytest.fixture
+def widget(wafe):
+    wafe.run_script("label w topLevel")
+    return wafe.lookup_widget("w")
+
+
+def button_event(widget, **kw):
+    defaults = dict(button=1, x=5, y=6, x_root=15, y_root=16)
+    defaults.update(kw)
+    return XEvent(xtypes.ButtonPress, None, **defaults)
+
+
+def key_event(widget, keycode=198, state=0, **kw):
+    defaults = dict(keycode=keycode, state=state, x=1, y=2,
+                    x_root=11, y_root=12)
+    defaults.update(kw)
+    return XEvent(xtypes.KeyPress, None, **defaults)
+
+
+class TestActionCodeTable:
+    """One test per row of the paper's table."""
+
+    def test_t_event_type(self, widget):
+        assert substitute_action("%t", widget, button_event(widget)) == \
+            "ButtonPress"
+        assert substitute_action("%t", widget, key_event(widget)) == \
+            "KeyPress"
+        enter = XEvent(xtypes.EnterNotify, None)
+        assert substitute_action("%t", widget, enter) == "EnterNotify"
+
+    def test_t_unknown_for_unsupported_events(self, widget):
+        # "%t will expand to unknown, if the event is not included"
+        expose = XEvent(xtypes.Expose, None)
+        assert substitute_action("%t", widget, expose) == "unknown"
+        motion = XEvent(xtypes.MotionNotify, None)
+        assert substitute_action("%t", widget, motion) == "unknown"
+
+    def test_w_widget_name_all_events(self, widget):
+        for event in (button_event(widget), key_event(widget),
+                      XEvent(xtypes.LeaveNotify, None)):
+            assert substitute_action("%w", widget, event) == "w"
+
+    def test_b_button_number(self, widget):
+        assert substitute_action("%b", widget,
+                                 button_event(widget, button=3)) == "3"
+        release = XEvent(xtypes.ButtonRelease, None, button=2)
+        assert substitute_action("%b", widget, release) == "2"
+
+    def test_b_invalid_for_key_events(self, widget):
+        assert substitute_action("%b", widget, key_event(widget)) == ""
+
+    def test_coordinates(self, widget):
+        event = button_event(widget)
+        assert substitute_action("%x %y %X %Y", widget, event) == "5 6 15 16"
+
+    def test_a_ascii_character(self, widget):
+        assert substitute_action("%a", widget, key_event(widget, 198)) == "w"
+        shifted = key_event(widget, 197, state=xtypes.ShiftMask)
+        assert substitute_action("%a", widget, shifted) == "!"
+
+    def test_a_empty_for_modifier_key(self, widget):
+        assert substitute_action("%a", widget, key_event(widget, 174)) == ""
+
+    def test_k_keycode(self, widget):
+        assert substitute_action("%k", widget, key_event(widget, 198)) == \
+            "198"
+
+    def test_s_keysym(self, widget):
+        assert substitute_action("%s", widget, key_event(widget, 198)) == "w"
+        assert substitute_action("%s", widget, key_event(widget, 174)) == \
+            "Shift_L"
+        shifted = key_event(widget, 197, state=xtypes.ShiftMask)
+        assert substitute_action("%s", widget, shifted) == "exclam"
+
+    def test_key_codes_invalid_for_button_events(self, widget):
+        event = button_event(widget)
+        assert substitute_action("%a%k%s", widget, event) == ""
+
+    def test_percent_percent_literal(self, widget):
+        assert substitute_action("100%%", widget, button_event(widget)) == \
+            "100%"
+
+    def test_unknown_code_passes_through(self, widget):
+        assert substitute_action("%q", widget, button_event(widget)) == "%q"
+
+    def test_validity_matrix_is_the_papers(self):
+        button = {xtypes.ButtonPress, xtypes.ButtonRelease}
+        key = {xtypes.KeyPress, xtypes.KeyRelease}
+        crossing = {xtypes.EnterNotify, xtypes.LeaveNotify}
+        everything = button | key | crossing
+        assert set(ACTION_CODE_EVENTS["t"]) == everything
+        assert set(ACTION_CODE_EVENTS["w"]) == everything
+        assert set(ACTION_CODE_EVENTS["b"]) == button
+        for code in "xyXY":
+            assert set(ACTION_CODE_EVENTS[code]) == everything
+        for code in "aks":
+            assert set(ACTION_CODE_EVENTS[code]) == key
+
+
+class TestCallbackCodes:
+    def test_w_always_available(self, wafe, widget):
+        assert substitute_callback("%w", widget, "callback", None) == "w"
+
+    def test_list_codes(self, wafe):
+        from repro.xaw.list import ListReturn
+
+        wafe.run_script("list lst topLevel list {a b}")
+        lst = wafe.lookup_widget("lst")
+        data = ListReturn(1, "b")
+        assert substitute_callback("%i/%s/%w", lst, "callback", data) == \
+            "1/b/lst"
+
+    def test_list_codes_without_call_data(self, wafe):
+        wafe.run_script("list lst topLevel list {a b}")
+        lst = wafe.lookup_widget("lst")
+        assert substitute_callback("%i", lst, "callback", None) == ""
+
+    def test_codes_unknown_for_class_pass_through(self, widget):
+        # %i is only defined for List callbacks; on a Label it is literal.
+        assert substitute_callback("%i", widget, "callback", None) == "%i"
+
+    def test_scrollbar_jump_value(self, wafe):
+        wafe.run_script("scrollbar sb topLevel")
+        bar = wafe.lookup_widget("sb")
+        assert substitute_callback("%v", bar, "jumpProc", 0.25) == "0.25"

@@ -1,0 +1,305 @@
+"""Property-based tests (hypothesis) on the substrate invariants."""
+
+import string as _string
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.tcl import Interp, TclError
+from repro.tcl.expr import format_number, parse_number
+from repro.tcl.lists import list_to_string, quote_element, string_to_list
+from repro.tcl.parser import parse_script
+from repro.core.channel import LineParser, MassTransferState
+from repro.xt.xrm import XrmDatabase, parse_specifier
+from repro.xlib import keysym as keysymmod
+
+
+# ----------------------------------------------------------------------
+# Tcl lists: the canonical quoting discipline is loss-free.
+
+tcl_element = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=20,
+)
+
+
+class TestTclListProperties:
+    @given(st.lists(tcl_element, max_size=10))
+    def test_list_roundtrip(self, elements):
+        assert string_to_list(list_to_string(elements)) == elements
+
+    @given(tcl_element)
+    def test_quote_element_single(self, element):
+        quoted = quote_element(element)
+        assert string_to_list(quoted) == [element]
+
+    @given(st.lists(tcl_element, max_size=6))
+    def test_llength_matches(self, elements):
+        tcl = Interp()
+        tcl.set_var("l", list_to_string(elements))
+        assert tcl.eval("llength $l") == str(len(elements))
+
+    @given(st.lists(tcl_element, min_size=1, max_size=6),
+           st.integers(min_value=0, max_value=5))
+    def test_lindex_matches(self, elements, index):
+        assume(index < len(elements))
+        tcl = Interp()
+        tcl.set_var("l", list_to_string(elements))
+        assert tcl.eval("lindex $l %d" % index) == elements[index]
+
+    @given(st.lists(tcl_element, max_size=8))
+    def test_lappend_equals_building(self, elements):
+        tcl = Interp()
+        for element in elements:
+            tcl.call(["lappend", "out", element])
+        built = tcl.get_var("out") if elements else ""
+        assert string_to_list(built) == elements
+
+
+# ----------------------------------------------------------------------
+# The Tcl parser never crashes with a non-Tcl exception.
+
+any_script = st.text(
+    alphabet=st.characters(min_codepoint=9, max_codepoint=126),
+    max_size=60,
+)
+
+
+class TestParserRobustness:
+    @given(any_script)
+    @settings(max_examples=300)
+    def test_parse_raises_only_tclerror(self, script):
+        try:
+            parse_script(script)
+        except TclError:
+            pass  # syntax errors are fine; anything else would escape
+
+    @given(any_script)
+    @settings(max_examples=200)
+    def test_eval_raises_only_tclerror(self, script):
+        tcl = Interp()
+        try:
+            tcl.eval(script)
+        except TclError:
+            pass
+
+    @given(st.lists(tcl_element, min_size=1, max_size=5))
+    def test_braced_word_is_literal(self, elements):
+        body = " ".join(elements)
+        assume("{" not in body and "}" not in body and "\\" not in body)
+        tcl = Interp()
+        assert tcl.eval("set x {%s}" % body) == body
+
+
+# ----------------------------------------------------------------------
+# expr agrees with Python on integer arithmetic.
+
+small_int = st.integers(min_value=-10**6, max_value=10**6)
+
+
+class TestExprProperties:
+    @given(small_int, small_int)
+    def test_addition(self, a, b):
+        tcl = Interp()
+        assert tcl.eval("expr {%d + %d}" % (a, b)) == str(a + b)
+
+    @given(small_int, small_int)
+    def test_multiplication(self, a, b):
+        tcl = Interp()
+        assert tcl.eval("expr {%d * %d}" % (a, b)) == str(a * b)
+
+    @given(small_int, small_int)
+    def test_comparison_total_order(self, a, b):
+        tcl = Interp()
+        less = tcl.eval("expr {%d < %d}" % (a, b))
+        greater = tcl.eval("expr {%d > %d}" % (a, b))
+        equal = tcl.eval("expr {%d == %d}" % (a, b))
+        assert [less, greater, equal].count("1") == 1
+
+    @given(small_int, st.integers(min_value=1, max_value=10**4))
+    def test_div_mod_c_identity(self, a, b):
+        # Tcl documents C semantics: (a/b)*b + a%b == a.
+        tcl = Interp()
+        quotient = int(tcl.eval("expr {%d / %d}" % (a, b)))
+        remainder = int(tcl.eval("expr {%d %% %d}" % (a, b)))
+        assert quotient * b + remainder == a
+        assert abs(remainder) < b
+
+    @given(small_int)
+    def test_number_roundtrip(self, n):
+        assert parse_number(format_number(n)) == n
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     min_value=-1e12, max_value=1e12))
+    def test_float_roundtrip_close(self, x):
+        parsed = parse_number(format_number(x))
+        assert parsed is not None
+        if x != 0:
+            assert abs(parsed - x) <= abs(x) * 1e-9
+        else:
+            assert parsed == 0
+
+
+# ----------------------------------------------------------------------
+# string match is reflexive for literal text; format/scan inverses.
+
+literal_text = st.text(alphabet=_string.ascii_letters + _string.digits,
+                       min_size=0, max_size=15)
+
+
+class TestStringProperties:
+    @given(literal_text)
+    def test_match_literal_self(self, text):
+        tcl = Interp()
+        assert tcl.call(["string", "match", text, text]) == "1"
+
+    @given(literal_text)
+    def test_star_matches_everything(self, text):
+        tcl = Interp()
+        assert tcl.call(["string", "match", "*", text]) == "1"
+
+    @given(small_int)
+    def test_format_scan_decimal_inverse(self, n):
+        tcl = Interp()
+        formatted = tcl.call(["format", "%d", str(n)])
+        tcl.call(["scan", formatted, "%d", "out"])
+        assert tcl.get_var("out") == str(n)
+
+    @given(literal_text)
+    def test_toupper_tolower_involution_on_ascii(self, text):
+        tcl = Interp()
+        up = tcl.call(["string", "toupper", text])
+        down = tcl.call(["string", "tolower", up])
+        assert down == text.lower()
+
+
+# ----------------------------------------------------------------------
+# Xrm database: structural invariants.
+
+component = st.text(alphabet=_string.ascii_lowercase, min_size=1,
+                    max_size=6)
+
+
+class TestXrmProperties:
+    @given(st.lists(component, min_size=1, max_size=4))
+    def test_exact_tight_spec_matches_itself(self, names):
+        db = XrmDatabase()
+        db.put(".".join(names), "value")
+        classes = [n.capitalize() for n in names]
+        assert db.query(names, classes) == "value"
+
+    @given(st.lists(component, min_size=1, max_size=4))
+    def test_star_resource_matches_any_path(self, names):
+        db = XrmDatabase()
+        db.put("*" + names[-1], "wild")
+        classes = [n.capitalize() for n in names]
+        assert db.query(names, classes) == "wild"
+
+    @given(component, component)
+    def test_later_duplicate_wins(self, name, value_suffix):
+        db = XrmDatabase()
+        db.put("*" + name, "first")
+        db.put("*" + name, "second" + value_suffix)
+        assert db.query(["app", name], ["App", name.capitalize()]) == \
+            "second" + value_suffix
+
+    @given(st.lists(component, min_size=1, max_size=5))
+    def test_specifier_roundtrip(self, names):
+        spec = "*" + ".".join(names)
+        bindings, components = parse_specifier(spec)
+        assert components == names
+        assert bindings[0] == "*"
+        assert all(b == "." for b in bindings[1:])
+
+
+# ----------------------------------------------------------------------
+# The protocol parser: chunking-invariance (the pipe can split lines
+# anywhere) and classification.
+
+protocol_line = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=30,
+)
+
+
+class TestChannelProperties:
+    @given(st.lists(protocol_line, max_size=8), st.data())
+    def test_chunking_invariance(self, lines, data):
+        stream = "".join(line + "\n" for line in lines).encode()
+        whole = LineParser().feed(stream)
+        # Now feed the same bytes in arbitrary chunks.
+        parser = LineParser()
+        events = []
+        i = 0
+        while i < len(stream):
+            step = data.draw(st.integers(min_value=1, max_value=10))
+            events.extend(parser.feed(stream[i : i + step]))
+            i += step
+        assert events == whole
+
+    @given(st.lists(protocol_line, max_size=8))
+    def test_classification(self, lines):
+        stream = "".join(line + "\n" for line in lines).encode()
+        events = LineParser().feed(stream)
+        assert len(events) == len(lines)
+        for line, (kind, text) in zip(lines, events):
+            if line.startswith("%"):
+                assert kind == "command" and text == line[1:]
+            else:
+                assert kind == "output" and text == line
+
+    @given(st.binary(min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=150), st.data())
+    def test_mass_transfer_chunk_invariance(self, payload, limit, data):
+        assume(limit <= len(payload))
+        state = MassTransferState("C", limit, "done")
+        i = 0
+        result = None
+        while i < len(payload) and result is None:
+            step = data.draw(st.integers(min_value=1, max_value=40))
+            result = state.feed(payload[i : i + step])
+            i += step
+        assert result is not None
+        received, leftover = result
+        assert received == payload[:limit]
+        assert received + leftover == payload[:i]
+
+
+# ----------------------------------------------------------------------
+# Keysyms: typing any printable ASCII produces that character back.
+
+
+class TestKeyboardProperties:
+    @given(st.integers(min_value=33, max_value=126))
+    def test_type_lookup_roundtrip(self, code):
+        ch = chr(code)
+        keycode, shifted = keysymmod.char_to_keycode(ch)
+        assert keycode != 0
+        text, __ = keysymmod.lookup_string(keycode, shifted)
+        assert text == ch
+
+    @given(st.integers(min_value=33, max_value=126))
+    def test_keysym_name_roundtrip(self, code):
+        name = keysymmod.keysym_to_string(code)
+        assert name != ""
+        assert keysymmod.string_to_keysym(name) == code
+
+
+# ----------------------------------------------------------------------
+# XPM: write/parse is the identity on pixel arrays.
+
+
+class TestXpmProperties:
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8), st.data())
+    def test_roundtrip(self, width, height, data):
+        import numpy
+
+        from repro.xlib.xpm import parse_xpm, write_xpm
+
+        palette = [0x000000, 0xFF0000, 0x00FF00, 0x0000FF, 0xFFFFFF]
+        image = numpy.zeros((height, width), dtype=numpy.uint32)
+        for y in range(height):
+            for x in range(width):
+                image[y, x] = data.draw(st.sampled_from(palette))
+        again = parse_xpm(write_xpm(image))
+        assert (again == image).all()

@@ -1,0 +1,162 @@
+"""Property-based tests over random widget trees and translations."""
+
+import string as _string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xlib import close_all_displays, xtypes
+from repro.xlib.events import XEvent
+from repro.xt.translations import merge_tables, parse_translation_table
+from repro.core import make_wafe
+
+# ----------------------------------------------------------------------
+# Random widget trees built through Wafe commands.
+
+CONTAINERS = ["form", "box", "paned"]
+LEAVES = ["label", "command", "toggle", "scrollbar"]
+
+
+@st.composite
+def widget_trees(draw):
+    """A list of (command, name, parent) creating a random tree."""
+    count = draw(st.integers(min_value=1, max_value=8))
+    nodes = []
+    parents = ["topLevel"]
+    for i in range(count):
+        name = "w%d" % i
+        parent = draw(st.sampled_from(parents))
+        is_container = draw(st.booleans())
+        if is_container:
+            kind = draw(st.sampled_from(CONTAINERS))
+            parents.append(name)
+        else:
+            kind = draw(st.sampled_from(LEAVES))
+        nodes.append((kind, name, parent))
+    return nodes
+
+
+class TestWidgetTreeProperties:
+    @given(widget_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_realize_makes_every_widget_viewable(self, nodes):
+        close_all_displays()
+        wafe = make_wafe()
+        for kind, name, parent in nodes:
+            wafe.run_script("%s %s %s" % (kind, name, parent))
+        wafe.run_script("realize")
+        for __, name, __ in nodes:
+            widget = wafe.lookup_widget(name)
+            assert widget.realized
+            assert widget.window is not None
+            assert widget.window.viewable()
+
+    @given(widget_trees())
+    @settings(max_examples=40, deadline=None)
+    def test_destroy_root_children_empties_registry(self, nodes):
+        close_all_displays()
+        wafe = make_wafe()
+        for kind, name, parent in nodes:
+            wafe.run_script("%s %s %s" % (kind, name, parent))
+        wafe.run_script("realize")
+        for kind, name, parent in nodes:
+            if parent == "topLevel":
+                wafe.run_script("destroyWidget %s" % name)
+        assert set(wafe.widgets) == {"topLevel"}
+
+    @given(widget_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_children_fit_inside_grown_ancestors(self, nodes):
+        # After geometry propagation, every widget's window rectangle
+        # lies inside its parent's (the invariant behind window_at).
+        close_all_displays()
+        wafe = make_wafe()
+        for kind, name, parent in nodes:
+            wafe.run_script("%s %s %s" % (kind, name, parent))
+        wafe.run_script("realize")
+        for __, name, __ in nodes:
+            widget = wafe.lookup_widget(name)
+            window = widget.window
+            parent = window.parent
+            if parent is None or parent is window.display.root:
+                continue
+            assert window.x >= 0 and window.y >= 0
+            assert window.x + window.width <= parent.width + 2
+            assert window.y + window.height <= parent.height + 2
+
+    @given(widget_trees())
+    @settings(max_examples=30, deadline=None)
+    def test_get_value_string_never_crashes(self, nodes):
+        close_all_displays()
+        wafe = make_wafe()
+        for kind, name, parent in nodes:
+            wafe.run_script("%s %s %s" % (kind, name, parent))
+        for __, name, __ in nodes:
+            widget = wafe.lookup_widget(name)
+            for resource in widget.class_resources():
+                widget.get_value_string(resource.name)
+
+
+# ----------------------------------------------------------------------
+# Translation tables under merge.
+
+action_names = st.text(alphabet=_string.ascii_lowercase, min_size=1,
+                       max_size=6)
+event_specs = st.sampled_from([
+    "<Btn1Down>", "<Btn1Up>", "<Btn3Down>", "<EnterWindow>",
+    "<LeaveWindow>", "<Key>a", "<Key>Return", "<KeyPress>",
+])
+
+
+@st.composite
+def tables(draw):
+    lines = draw(st.lists(
+        st.tuples(event_specs, action_names), min_size=1, max_size=5))
+    return "\n".join("%s: %s()" % (spec, action) for spec, action in lines)
+
+
+_EVENTS = [
+    XEvent(xtypes.ButtonPress, None, button=1),
+    XEvent(xtypes.ButtonPress, None, button=3),
+    XEvent(xtypes.ButtonRelease, None, button=1),
+    XEvent(xtypes.EnterNotify, None),
+    XEvent(xtypes.LeaveNotify, None),
+    XEvent(xtypes.KeyPress, None, keycode=217),   # 'a'
+    XEvent(xtypes.KeyPress, None, keycode=189),   # Return
+]
+
+
+class TestTranslationMergeProperties:
+    @given(tables(), tables())
+    @settings(max_examples=60)
+    def test_override_prefers_new_else_base(self, base_text, new_text):
+        base = parse_translation_table(base_text)
+        new = parse_translation_table("#override\n" + new_text)
+        merged = merge_tables(base, new)
+        for event in _EVENTS:
+            want = new.lookup(event) or base.lookup(event)
+            assert merged.lookup(event) == want
+
+    @given(tables(), tables())
+    @settings(max_examples=60)
+    def test_augment_prefers_base_else_new(self, base_text, new_text):
+        base = parse_translation_table(base_text)
+        new = parse_translation_table("#augment\n" + new_text)
+        merged = merge_tables(base, new)
+        for event in _EVENTS:
+            want = base.lookup(event) or new.lookup(event)
+            assert merged.lookup(event) == want
+
+    @given(tables())
+    @settings(max_examples=60)
+    def test_parse_is_deterministic(self, text):
+        first = parse_translation_table(text)
+        second = parse_translation_table(text)
+        for event in _EVENTS:
+            assert first.lookup(event) == second.lookup(event)
+
+    @given(tables())
+    @settings(max_examples=60)
+    def test_stateful_equals_stateless_for_single_events(self, text):
+        table = parse_translation_table(text)
+        for event in _EVENTS:
+            assert table.lookup_stateful(event, {}) == table.lookup(event)

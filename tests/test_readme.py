@@ -1,0 +1,66 @@
+"""The README's code snippets actually run (docs stay honest)."""
+
+import os
+import re
+
+import pytest
+
+from repro.xlib import close_all_displays
+
+README = os.path.join(os.path.dirname(__file__), os.pardir, "README.md")
+
+
+def python_blocks():
+    with open(README) as handle:
+        text = handle.read()
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+def test_readme_has_python_quickstart():
+    assert python_blocks(), "README lost its quickstart code block"
+
+
+@pytest.mark.parametrize("index,block",
+                         list(enumerate(python_blocks())))
+def test_readme_python_blocks_execute(index, block):
+    close_all_displays()
+    namespace = {}
+    exec(compile(block, "README.md[block %d]" % index, "exec"), namespace)
+
+
+def test_readme_interactive_transcript_is_true():
+    """The wafe> transcript in the README reproduces."""
+    import io
+
+    from repro.core import InteractiveSession, make_wafe
+
+    close_all_displays()
+    wafe = make_wafe()
+    session = InteractiveSession(wafe, output=io.StringIO())
+    session.execute("label l topLevel")
+    count = session.execute("echo [getResourceList l retVal]")
+    lines = []
+    wafe.interp.write_output = lambda t: lines.append(t.rstrip("\n"))
+    session.execute("echo Resources: $retVal")
+    assert lines[0].startswith(
+        "Resources: destroyCallback ancestorSensitive x y width height "
+        "borderWidth sensitive screen depth colormap background")
+
+
+def test_design_experiment_index_is_complete():
+    """Every bench file DESIGN.md's experiment index names exists."""
+    root = os.path.join(os.path.dirname(__file__), os.pardir)
+    with open(os.path.join(root, "DESIGN.md")) as handle:
+        design = handle.read()
+    bench_refs = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+    assert len(bench_refs) >= 20
+    for name in bench_refs:
+        assert os.path.exists(os.path.join(root, "benchmarks", name)), name
+
+
+def test_readme_mentioned_files_exist():
+    root = os.path.join(os.path.dirname(__file__), os.pardir)
+    for path in ("DESIGN.md", "EXPERIMENTS.md", "LICENSE",
+                 "docs/PROTOCOL.md", "docs/wafe_reference_athena.md",
+                 "examples/quickstart.py", "examples/polyglot_sh.py"):
+        assert os.path.exists(os.path.join(root, path)), path

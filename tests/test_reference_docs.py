@@ -1,0 +1,39 @@
+"""The shipped reference docs in docs/ stay in sync with the specs."""
+
+import os
+
+import pytest
+
+from repro import codegen
+
+DOCS = os.path.join(os.path.dirname(__file__), os.pardir, "docs")
+
+
+@pytest.mark.parametrize("build", ["athena", "motif"])
+def test_reference_manual_is_fresh(build):
+    path = os.path.join(DOCS, "wafe_reference_%s.md" % build)
+    with open(path) as handle:
+        shipped = handle.read()
+    assert shipped == codegen.generate_reference(build), (
+        "docs/wafe_reference_%s.md is stale; regenerate with "
+        "`wafe-codegen --build %s --out docs`" % (build, build))
+
+
+@pytest.mark.parametrize("build", ["athena", "motif"])
+def test_command_dump_is_fresh(build):
+    path = os.path.join(DOCS, "wafe_commands_%s.py" % build)
+    with open(path) as handle:
+        shipped = handle.read()
+    generated, __ = codegen.generate_command_module(build)
+    assert shipped == generated, (
+        "docs/wafe_commands_%s.py is stale; regenerate with "
+        "`wafe-codegen --build %s --out docs`" % (build, build))
+
+
+def test_reference_documents_paper_examples():
+    with open(os.path.join(DOCS, "wafe_reference_motif.md")) as handle:
+        reference = handle.read()
+    # The two commands the paper's spec examples generate.
+    assert "`mCascadeButton name parent" in reference
+    assert "mCascadeButtonHighlight" in reference
+    assert "mCommandAppendValue" in reference

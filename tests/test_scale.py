@@ -1,0 +1,82 @@
+"""Scale tests: the stack at sizes real applications reach."""
+
+import pytest
+
+from repro.xlib import close_all_displays
+from repro.core import make_wafe
+
+
+@pytest.fixture
+def wafe():
+    close_all_displays()
+    return make_wafe()
+
+
+class TestScale:
+    def test_two_hundred_widget_tree(self, wafe):
+        wafe.run_script("box root topLevel")
+        for i in range(20):
+            wafe.run_script("form row%d root" % i)
+            previous = None
+            for j in range(9):
+                name = "cell%d_%d" % (i, j)
+                extra = (" fromHoriz %s" % previous) if previous else ""
+                wafe.run_script("label %s row%d label {%d.%d}%s"
+                                % (name, i, i, j, extra))
+                previous = name
+        wafe.run_script("realize")
+        assert len(wafe.widgets) == 1 + 1 + 20 + 180
+        # Every cell realized and viewable.
+        widget = wafe.lookup_widget("cell19_8")
+        assert widget.window is not None and widget.window.viewable()
+
+    def test_thousand_item_list(self, wafe):
+        items = " ".join("item%04d" % i for i in range(1000))
+        wafe.run_script("list big topLevel -unmanaged list {%s}" % items)
+        lst = wafe.lookup_widget("big")
+        assert len(lst.items()) == 1000
+        lst.highlight(777)
+        assert lst.current().string == "item0777"
+        assert wafe.run_script("listShowCurrent big out") == "777"
+
+    def test_five_hundred_dispatched_events(self, wafe):
+        wafe.run_script("set n 0")
+        wafe.run_script("label pad topLevel")
+        wafe.run_script("action pad override {<KeyPress>: exec(incr n)}")
+        wafe.run_script("realize")
+        widget = wafe.lookup_widget("pad")
+        display = wafe.app.default_display
+        for __ in range(500):
+            display.press_key(widget.window, 198, release=False)
+        wafe.app.process_pending()
+        assert wafe.run_script("set n") == "500"
+
+    def test_deep_form_chain(self, wafe):
+        wafe.run_script("form f topLevel")
+        previous = None
+        for i in range(60):
+            extra = (" fromVert w%d" % (i - 1)) if previous is not None \
+                else ""
+            wafe.run_script("label w%d f label {row %d}%s" % (i, i, extra))
+            previous = i
+        wafe.run_script("realize")
+        top_y = wafe.lookup_widget("w0").resources["y"]
+        bottom_y = wafe.lookup_widget("w59").resources["y"]
+        assert bottom_y > top_y + 59  # strictly descending chain
+
+    def test_large_tcl_data_through_widget(self, wafe):
+        payload = "x" * 50000
+        wafe.run_script("asciiText t topLevel editType edit")
+        wafe.interp.set_var("big", payload)
+        wafe.run_script("sV t string $big")
+        assert len(wafe.lookup_widget("t").get_string()) == 50000
+
+    def test_many_create_destroy_cycles_no_leak(self, wafe):
+        for round_no in range(50):
+            wafe.run_script("form f%d topLevel" % round_no)
+            wafe.run_script("command b%d f%d callback {echo hi}"
+                            % (round_no, round_no))
+            wafe.run_script("destroyWidget f%d" % round_no)
+        assert set(wafe.widgets) == {"topLevel"}
+        # The window registry does not accumulate dead windows.
+        assert len(wafe.app._window_widgets) <= 1

@@ -1,0 +1,190 @@
+"""Edge cases across the Tcl command set (paths the main suites skip)."""
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def tcl():
+    return Interp()
+
+
+class TestSetUnsetEdges:
+    def test_unset_multiple(self, tcl):
+        tcl.eval("set a 1; set b 2")
+        tcl.eval("unset a b")
+        assert tcl.eval("info exists a") == "0"
+        assert tcl.eval("info exists b") == "0"
+
+    def test_unset_array_element(self, tcl):
+        tcl.eval("set a(x) 1; set a(y) 2")
+        tcl.eval("unset a(x)")
+        assert tcl.eval("array names a") == "y"
+
+    def test_unset_missing_element_raises(self, tcl):
+        tcl.eval("set a(x) 1")
+        with pytest.raises(TclError, match="no such element"):
+            tcl.eval("unset a(zz)")
+
+    def test_incr_non_integer_raises(self, tcl):
+        tcl.eval("set x abc")
+        with pytest.raises(TclError, match="expected integer"):
+            tcl.eval("incr x")
+
+    def test_append_creates_variable(self, tcl):
+        tcl.eval("append fresh abc")
+        assert tcl.eval("set fresh") == "abc"
+
+
+class TestControlFlowEdges:
+    def test_switch_braced_pairs_form(self, tcl):
+        result = tcl.eval("switch b {\n a {concat one}\n b {concat two}\n}")
+        assert result == "two"
+
+    def test_switch_no_match_returns_empty(self, tcl):
+        assert tcl.eval("switch z {a {concat one}}") == ""
+
+    def test_switch_regexp_mode(self, tcl):
+        assert tcl.eval(
+            "switch -regexp ab12 {{^[a-z]+$} {concat alpha} "
+            "{[0-9]} {concat digits}}") == "digits"
+
+    def test_case_list_form(self, tcl):
+        assert tcl.eval("case b in {a {concat one} b {concat two}}") == "two"
+
+    def test_case_multiple_patterns(self, tcl):
+        assert tcl.eval(
+            "case zz in {{a b} {concat ab} {y* z*} {concat yz}}") == "yz"
+
+    def test_for_with_break_in_next_is_error_free(self, tcl):
+        tcl.eval("for {set i 0} {$i < 3} {incr i} {set last $i}")
+        assert tcl.eval("set last") == "2"
+
+    def test_while_condition_reevaluated(self, tcl):
+        tcl.eval("set i 0")
+        tcl.eval("while {[incr i] < 4} {}")
+        assert tcl.eval("set i") == "4"
+
+    def test_nested_loops_break_inner_only(self, tcl):
+        tcl.eval("""
+            set log {}
+            foreach i {1 2} {
+                foreach j {a b c} {
+                    if {$j == "b"} break
+                    lappend log $i$j
+                }
+            }
+        """)
+        assert tcl.eval("set log") == "1a 2a"
+
+
+class TestProcEdges:
+    def test_rename_to_empty_deletes(self, tcl):
+        tcl.eval("proc gone {} {}")
+        tcl.eval("rename gone {}")
+        with pytest.raises(TclError, match="invalid command name"):
+            tcl.eval("gone")
+
+    def test_proc_redefinition_replaces(self, tcl):
+        tcl.eval("proc f {} {concat old}")
+        tcl.eval("proc f {} {concat new}")
+        assert tcl.eval("f") == "new"
+
+    def test_uplevel_numeric_and_hash(self, tcl):
+        tcl.eval("""
+            proc outer {} {
+                set local outer-val
+                inner
+            }
+            proc inner {} {
+                uplevel 1 {set seen $local}
+                uplevel #0 {set top 1}
+            }
+        """)
+        tcl.eval("outer")
+        assert tcl.eval("set top") == "1"
+
+    def test_upvar_to_array_element(self, tcl):
+        tcl.eval("set a(k) start")
+        tcl.eval("proc f {} {upvar a(k) x; set x done}")
+        tcl.eval("f")
+        assert tcl.eval("set a(k)") == "done"
+
+    def test_info_level_negative_like(self, tcl):
+        tcl.eval("proc f {a b} {info level 1}")
+        assert tcl.eval("f x y") == "f x y"
+
+
+class TestStringEdges:
+    def test_string_range_end_keyword(self, tcl):
+        assert tcl.eval("string range hello 0 end") == "hello"
+
+    def test_string_index_negative(self, tcl):
+        assert tcl.eval("string index hello -1") == ""
+
+    def test_scan_suppressed_assignment(self, tcl):
+        assert tcl.eval("scan {10 20} {%*d %d} only") == "1"
+        assert tcl.eval("set only") == "20"
+
+    def test_scan_octal(self, tcl):
+        tcl.eval("scan 17 %o v")
+        assert tcl.eval("set v") == "15"
+
+    def test_scan_literal_matching(self, tcl):
+        assert tcl.eval("scan {x=5} {x=%d} v") == "1"
+        assert tcl.eval("set v") == "5"
+
+    def test_format_width_star(self, tcl):
+        assert tcl.eval("format %*d 6 42") == "    42"
+
+    def test_split_single_char_groups(self, tcl):
+        assert tcl.eval("split a.b.c .") == "a b c"
+        assert tcl.eval("split {} .") == "{}"
+
+
+class TestListEdges:
+    def test_lreplace_delete_only(self, tcl):
+        assert tcl.eval("lreplace {a b c} 1 1") == "a c"
+
+    def test_linsert_negative_index_clamps(self, tcl):
+        assert tcl.eval("linsert {a b} -5 z") == "z a b"
+
+    def test_lsort_command_error_propagates(self, tcl):
+        tcl.eval("proc bad {a b} {concat notanumber}")
+        with pytest.raises(TclError, match="non-numeric"):
+            tcl.eval("lsort -command bad {x y}")
+
+    def test_concat_strips_whitespace(self, tcl):
+        assert tcl.eval('concat { a } {b }') == "a b"
+
+    def test_join_empty_list(self, tcl):
+        assert tcl.eval("join {} -") == ""
+
+
+class TestSubstEdges:
+    def test_subst_all_flags(self, tcl):
+        tcl.eval("set v 1")
+        raw = r"a\tb $v [concat x]"
+        assert tcl.eval(
+            "subst -nobackslashes -nocommands -novariables {%s}" % raw) == raw
+
+    def test_subst_backslashes_only(self, tcl):
+        assert tcl.eval(r"subst -nocommands -novariables {a\tb}") == "a\tb"
+
+
+class TestErrorReporting:
+    def test_error_code_variable(self, tcl):
+        tcl.eval("catch {error msg info CUSTOM}")
+        assert tcl.eval("set errorCode") == "CUSTOM"
+
+    def test_error_info_custom(self, tcl):
+        tcl.eval("catch {error msg {custom stack}} out")
+        assert "custom stack" in tcl.eval("set errorInfo")
+
+    def test_wrong_args_messages_match_tcl_style(self, tcl):
+        with pytest.raises(TclError, match='wrong # args: should be "set'):
+            tcl.eval("set")
+        with pytest.raises(TclError,
+                           match='wrong # args: should be "llength list"'):
+            tcl.eval("llength")

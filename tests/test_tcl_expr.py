@@ -1,0 +1,168 @@
+"""Tests for the expr expression evaluator."""
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def tcl():
+    return Interp()
+
+
+def ex(tcl, expression):
+    return tcl.eval("expr {%s}" % expression)
+
+
+class TestArithmetic:
+    def test_precedence(self, tcl):
+        assert ex(tcl, "1+2*3") == "7"
+        assert ex(tcl, "(1+2)*3") == "9"
+
+    def test_integer_division_truncates_toward_zero(self, tcl):
+        assert ex(tcl, "7/2") == "3"
+        assert ex(tcl, "-7/2") == "-3"
+
+    def test_float_division(self, tcl):
+        assert ex(tcl, "7.0/2") == "3.5"
+
+    def test_modulo(self, tcl):
+        assert ex(tcl, "7%3") == "1"
+        assert ex(tcl, "-7%3") == "-1"
+
+    def test_divide_by_zero(self, tcl):
+        with pytest.raises(TclError, match="divide by zero"):
+            ex(tcl, "1/0")
+
+    def test_unary_minus(self, tcl):
+        assert ex(tcl, "-3+1") == "-2"
+        assert ex(tcl, "--3") == "3"
+
+    def test_hex_and_octal_literals(self, tcl):
+        assert ex(tcl, "0x10") == "16"
+        assert ex(tcl, "010") == "8"
+
+    def test_float_formatting(self, tcl):
+        assert ex(tcl, "1.5+1.5") == "3.0"
+        assert ex(tcl, "0.1+0.2") == "0.3"
+
+
+class TestLogicAndComparison:
+    def test_comparisons(self, tcl):
+        assert ex(tcl, "1 < 2") == "1"
+        assert ex(tcl, "2 <= 2") == "1"
+        assert ex(tcl, "3 > 4") == "0"
+        assert ex(tcl, "1 == 1.0") == "1"
+        assert ex(tcl, "1 != 2") == "1"
+
+    def test_string_comparison(self, tcl):
+        assert ex(tcl, '"abc" == "abc"') == "1"
+        assert ex(tcl, '"abc" < "abd"') == "1"
+
+    def test_logical_ops(self, tcl):
+        assert ex(tcl, "1 && 0") == "0"
+        assert ex(tcl, "1 || 0") == "1"
+        assert ex(tcl, "!1") == "0"
+        assert ex(tcl, "!0") == "1"
+
+    def test_lazy_evaluation(self, tcl):
+        # The right side would divide by zero if evaluated.
+        assert ex(tcl, "0 && [expr 1/0]") == "0"
+        assert ex(tcl, "1 || [expr 1/0]") == "1"
+
+    def test_ternary(self, tcl):
+        assert ex(tcl, "1 ? 10 : 20") == "10"
+        assert ex(tcl, "0 ? 10 : 20") == "20"
+
+    def test_bitwise(self, tcl):
+        assert ex(tcl, "5 & 3") == "1"
+        assert ex(tcl, "5 | 3") == "7"
+        assert ex(tcl, "5 ^ 3") == "6"
+        assert ex(tcl, "~0") == "-1"
+        assert ex(tcl, "1 << 4") == "16"
+        assert ex(tcl, "16 >> 2") == "4"
+
+    def test_bitwise_rejects_float(self, tcl):
+        with pytest.raises(TclError):
+            ex(tcl, "1.5 & 2")
+
+
+class TestSubstitutionInExpr:
+    def test_variables(self, tcl):
+        tcl.eval("set x 4")
+        assert ex(tcl, "$x * $x") == "16"
+
+    def test_array_variables(self, tcl):
+        tcl.eval("set a(k) 3")
+        assert ex(tcl, "$a(k) + 1") == "4"
+
+    def test_command_substitution(self, tcl):
+        assert ex(tcl, "[llength {a b c}] + 1") == "4"
+
+    def test_quoted_string_operand(self, tcl):
+        tcl.eval("set s hello")
+        assert ex(tcl, '"$s" == "hello"') == "1"
+
+    def test_unbraced_expr_args_concatenated(self, tcl):
+        assert tcl.eval("expr 1 + 2") == "3"
+
+
+class TestMathFunctions:
+    def test_abs(self, tcl):
+        assert ex(tcl, "abs(-5)") == "5"
+        assert ex(tcl, "abs(-5.5)") == "5.5"
+
+    def test_int_and_round(self, tcl):
+        assert ex(tcl, "int(3.9)") == "3"
+        assert ex(tcl, "round(3.5)") == "4"
+        assert ex(tcl, "round(-3.5)") == "-4"
+
+    def test_double(self, tcl):
+        assert ex(tcl, "double(2)") == "2.0"
+
+    def test_sqrt(self, tcl):
+        assert ex(tcl, "sqrt(16)") == "4.0"
+
+    def test_pow(self, tcl):
+        assert ex(tcl, "pow(2,10)") == "1024"
+
+    def test_two_arg_functions(self, tcl):
+        assert ex(tcl, "fmod(7,3)") == "1.0"
+        assert ex(tcl, "hypot(3,4)") == "5.0"
+
+    def test_domain_error(self, tcl):
+        with pytest.raises(TclError, match="domain error"):
+            ex(tcl, "sqrt(-1)")
+
+    def test_unknown_function(self, tcl):
+        with pytest.raises(TclError, match="unknown math function"):
+            ex(tcl, "nosuch(1)")
+
+
+class TestBooleanWords:
+    def test_true_false_words(self, tcl):
+        assert tcl.eval("if true {set r 1} else {set r 0}") == "1"
+        assert tcl.eval("if false {set r 1} else {set r 0}") == "0"
+
+    def test_yes_no_on_off(self, tcl):
+        assert tcl.eval("if yes {set r 1}") == "1"
+        assert tcl.eval("if on {set r 1}") == "1"
+        assert tcl.eval("if no {set r 1} else {set r 0}") == "0"
+
+    def test_bad_boolean(self, tcl):
+        with pytest.raises(TclError, match="expected boolean"):
+            tcl.eval("if notabool {set r 1}")
+
+
+class TestSyntaxErrors:
+    def test_trailing_garbage(self, tcl):
+        with pytest.raises(TclError, match="syntax error"):
+            ex(tcl, "1 2")
+
+    def test_missing_operand(self, tcl):
+        with pytest.raises(TclError):
+            ex(tcl, "1 +")
+
+    def test_unbalanced_paren(self, tcl):
+        with pytest.raises(TclError):
+            ex(tcl, "(1 + 2")

@@ -1,0 +1,282 @@
+"""Integration tests for the Tcl interpreter: evaluation semantics."""
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def tcl():
+    return Interp()
+
+
+class TestVariables:
+    def test_set_and_get(self, tcl):
+        assert tcl.eval("set a hello") == "hello"
+        assert tcl.eval("set a") == "hello"
+
+    def test_substitution(self, tcl):
+        tcl.eval("set a world")
+        assert tcl.eval('set b "hello $a"') == "hello world"
+
+    def test_unset(self, tcl):
+        tcl.eval("set a 1")
+        tcl.eval("unset a")
+        with pytest.raises(TclError, match="no such variable"):
+            tcl.eval("set a")
+
+    def test_read_missing_raises(self, tcl):
+        with pytest.raises(TclError, match='can\'t read "nope"'):
+            tcl.eval("set x $nope")
+
+    def test_array_set_get(self, tcl):
+        tcl.eval("set arr(one) 1")
+        tcl.eval("set arr(two) 2")
+        assert tcl.eval("set arr(one)") == "1"
+        assert tcl.eval('set k two; set arr($k)') == "2"
+
+    def test_array_vs_scalar_conflict(self, tcl):
+        tcl.eval("set a 1")
+        with pytest.raises(TclError, match="isn't array"):
+            tcl.eval("set a(x) 1")
+        tcl.eval("set b(x) 1")
+        with pytest.raises(TclError, match="variable is array"):
+            tcl.eval("set b 2")
+
+    def test_incr(self, tcl):
+        tcl.eval("set i 5")
+        assert tcl.eval("incr i") == "6"
+        assert tcl.eval("incr i 10") == "16"
+        assert tcl.eval("incr i -1") == "15"
+
+    def test_append(self, tcl):
+        tcl.eval("append s foo bar")
+        assert tcl.eval("set s") == "foobar"
+        tcl.eval("append s baz")
+        assert tcl.eval("set s") == "foobarbaz"
+
+    def test_dollar_in_braces_not_substituted(self, tcl):
+        assert tcl.eval("set a {$x}") == "$x"
+
+
+class TestCommandSubstitution:
+    def test_nested(self, tcl):
+        assert tcl.eval("set a [expr 1+[expr 2+3]]") == "6"
+
+    def test_result_is_single_word(self, tcl):
+        tcl.eval('set x "two words"')
+        # $x stays one word: llength of a one-element list command
+        assert tcl.eval("llength [list $x]") == "1"
+
+
+class TestControlFlow:
+    def test_if_else(self, tcl):
+        assert tcl.eval("if {1 < 2} {set r yes} else {set r no}") == "yes"
+        assert tcl.eval("if {1 > 2} {set r yes} else {set r no}") == "no"
+
+    def test_if_elseif(self, tcl):
+        script = "if {$x == 1} {set r one} elseif {$x == 2} {set r two} else {set r many}"
+        tcl.eval("set x 2")
+        assert tcl.eval(script) == "two"
+        tcl.eval("set x 9")
+        assert tcl.eval(script) == "many"
+
+    def test_if_then_keyword(self, tcl):
+        assert tcl.eval("if 1 then {set r ok}") == "ok"
+
+    def test_while_loop(self, tcl):
+        tcl.eval("set i 0; set sum 0")
+        tcl.eval("while {$i < 5} {incr sum $i; incr i}")
+        assert tcl.eval("set sum") == "10"
+
+    def test_for_loop(self, tcl):
+        tcl.eval("set sum 0")
+        tcl.eval("for {set i 1} {$i <= 4} {incr i} {incr sum $i}")
+        assert tcl.eval("set sum") == "10"
+
+    def test_foreach(self, tcl):
+        tcl.eval("set out {}")
+        tcl.eval("foreach x {a b c} {append out $x-}")
+        assert tcl.eval("set out") == "a-b-c-"
+
+    def test_break(self, tcl):
+        tcl.eval("set i 0")
+        tcl.eval("while 1 {incr i; if {$i >= 3} break}")
+        assert tcl.eval("set i") == "3"
+
+    def test_continue(self, tcl):
+        tcl.eval("set sum 0")
+        tcl.eval("foreach x {1 2 3 4} {if {$x == 2} continue; incr sum $x}")
+        assert tcl.eval("set sum") == "8"
+
+    def test_switch_exact(self, tcl):
+        assert tcl.eval("switch b {a {set r 1} b {set r 2} default {set r 3}}") == "2"
+        assert tcl.eval("switch z {a {set r 1} default {set r 3}}") == "3"
+
+    def test_switch_glob(self, tcl):
+        assert tcl.eval("switch -glob foo.c {*.h {set r hdr} *.c {set r src}}") == "src"
+
+    def test_switch_fallthrough(self, tcl):
+        assert tcl.eval("switch b {a - b {set r ab} c {set r c}}") == "ab"
+
+    def test_case_command(self, tcl):
+        assert tcl.eval("case abc in {a*} {set r star} default {set r other}") == "star"
+
+
+class TestProcs:
+    def test_simple_proc(self, tcl):
+        tcl.eval("proc double {x} {expr $x * 2}")
+        assert tcl.eval("double 21") == "42"
+
+    def test_return(self, tcl):
+        tcl.eval("proc f {} {return early; set never reached}")
+        assert tcl.eval("f") == "early"
+
+    def test_default_argument(self, tcl):
+        tcl.eval("proc greet {{name world}} {return hello-$name}")
+        assert tcl.eval("greet") == "hello-world"
+        assert tcl.eval("greet tcl") == "hello-tcl"
+
+    def test_args_collects_rest(self, tcl):
+        tcl.eval("proc count {first args} {llength $args}")
+        assert tcl.eval("count a b c d") == "3"
+
+    def test_missing_argument_raises(self, tcl):
+        tcl.eval("proc f {a b} {}")
+        with pytest.raises(TclError, match="no value given for parameter"):
+            tcl.eval("f 1")
+
+    def test_too_many_arguments_raises(self, tcl):
+        tcl.eval("proc f {a} {}")
+        with pytest.raises(TclError, match="too many arguments"):
+            tcl.eval("f 1 2")
+
+    def test_local_scope(self, tcl):
+        tcl.eval("set x global")
+        tcl.eval("proc f {} {set x local; return $x}")
+        assert tcl.eval("f") == "local"
+        assert tcl.eval("set x") == "global"
+
+    def test_global_command(self, tcl):
+        tcl.eval("set counter 0")
+        tcl.eval("proc bump {} {global counter; incr counter}")
+        tcl.eval("bump; bump")
+        assert tcl.eval("set counter") == "2"
+
+    def test_upvar(self, tcl):
+        tcl.eval("proc swap {an bn} {upvar $an a $bn b; set t $a; set a $b; set b $t}")
+        tcl.eval("set x 1; set y 2; swap x y")
+        assert tcl.eval("set x") == "2"
+        assert tcl.eval("set y") == "1"
+
+    def test_uplevel(self, tcl):
+        tcl.eval("proc setit {} {uplevel {set z fromproc}}")
+        tcl.eval("setit")
+        assert tcl.eval("set z") == "fromproc"
+
+    def test_recursion(self, tcl):
+        tcl.eval("proc fact {n} {if {$n <= 1} {return 1}; expr $n * [fact [expr $n-1]]}")
+        assert tcl.eval("fact 6") == "720"
+
+    def test_rename(self, tcl):
+        tcl.eval("proc f {} {return ok}")
+        tcl.eval("rename f g")
+        assert tcl.eval("g") == "ok"
+        with pytest.raises(TclError, match="invalid command name"):
+            tcl.eval("f")
+
+    def test_info_body_and_args(self, tcl):
+        tcl.eval("proc f {a {b 2}} {return $a$b}")
+        assert tcl.eval("info args f") == "a b"
+        assert tcl.eval("info body f") == "return $a$b"
+        assert tcl.eval("info default f b out") == "1"
+        assert tcl.eval("set out") == "2"
+
+
+class TestErrors:
+    def test_catch_ok(self, tcl):
+        assert tcl.eval("catch {set a 1} msg") == "0"
+        assert tcl.eval("set msg") == "1"
+
+    def test_catch_error(self, tcl):
+        assert tcl.eval("catch {error boom} msg") == "1"
+        assert tcl.eval("set msg") == "boom"
+
+    def test_catch_break_code(self, tcl):
+        assert tcl.eval("catch {break}") == "3"
+        assert tcl.eval("catch {continue}") == "4"
+
+    def test_error_command(self, tcl):
+        with pytest.raises(TclError, match="custom message"):
+            tcl.eval("error {custom message}")
+
+    def test_error_info_accumulates(self, tcl):
+        tcl.eval("proc f {} {error deep}")
+        tcl.eval("catch {f}")
+        assert "deep" in tcl.eval("set errorInfo")
+
+    def test_invalid_command(self, tcl):
+        with pytest.raises(TclError, match='invalid command name "nosuch"'):
+            tcl.eval("nosuch arg")
+
+    def test_infinite_recursion_stopped(self, tcl):
+        tcl.eval("proc loop {} {loop}")
+        with pytest.raises(TclError, match="too many nested"):
+            tcl.eval("loop")
+
+
+class TestEvalAndSubst:
+    def test_eval_concat(self, tcl):
+        assert tcl.eval("eval set a 5") == "5"
+
+    def test_eval_list(self, tcl):
+        tcl.eval("set cmd {set b 7}")
+        assert tcl.eval("eval $cmd") == "7"
+
+    def test_subst(self, tcl):
+        tcl.eval("set x 42")
+        assert tcl.eval("subst {val=$x}") == "val=42"
+
+    def test_subst_nocommands(self, tcl):
+        assert tcl.eval("subst -nocommands {[nosuch]}") == "[nosuch]"
+
+    def test_subst_novariables(self, tcl):
+        assert tcl.eval("subst -novariables {$x}") == "$x"
+
+
+class TestMisc:
+    def test_info_exists(self, tcl):
+        assert tcl.eval("info exists nope") == "0"
+        tcl.eval("set yep 1")
+        assert tcl.eval("info exists yep") == "1"
+
+    def test_info_commands_contains_builtins(self, tcl):
+        commands = tcl.eval("info commands").split()
+        for name in ("set", "proc", "expr", "foreach", "string"):
+            assert name in commands
+
+    def test_info_level(self, tcl):
+        tcl.eval("proc f {} {info level}")
+        assert tcl.eval("info level") == "0"
+        assert tcl.eval("f") == "1"
+
+    def test_time_command(self, tcl):
+        result = tcl.eval("time {set a 1} 10")
+        assert result.endswith("microseconds per iteration")
+
+    def test_puts_through_hook(self, tcl):
+        captured = []
+        tcl.write_output = captured.append
+        tcl.eval("puts hello")
+        assert captured == ["hello\n"]
+
+    def test_array_commands(self, tcl):
+        tcl.eval("array set colors {red #f00 green #0f0}")
+        assert tcl.eval("array size colors") == "2"
+        assert tcl.eval("array exists colors") == "1"
+        assert tcl.eval("array exists nope") == "0"
+        assert set(tcl.eval("array names colors").split()) == {"red", "green"}
+        assert tcl.eval("set colors(red)") == "#f00"
+
+    def test_semicolons_and_result(self, tcl):
+        assert tcl.eval("set a 1; set b 2") == "2"

@@ -1,0 +1,173 @@
+"""Unit tests for the Tcl script parser and list syntax."""
+
+import pytest
+
+from repro.tcl.errors import TclError
+from repro.tcl.lists import list_to_string, quote_element, string_to_list
+from repro.tcl.parser import parse_script
+
+
+def words_of(script, command=0):
+    return parse_script(script)[command].words
+
+
+class TestCommandSplitting:
+    def test_single_command(self):
+        cmds = parse_script("set a 1")
+        assert len(cmds) == 1
+        assert len(cmds[0].words) == 3
+
+    def test_newline_separates_commands(self):
+        assert len(parse_script("set a 1\nset b 2")) == 2
+
+    def test_semicolon_separates_commands(self):
+        assert len(parse_script("set a 1; set b 2")) == 2
+
+    def test_semicolon_inside_braces_does_not_separate(self):
+        cmds = parse_script("set a {1; 2}")
+        assert len(cmds) == 1
+
+    def test_comment_skipped(self):
+        assert parse_script("# a comment\nset a 1")[0].words[0].literal_value() == "set"
+
+    def test_comment_only_at_command_start(self):
+        # A '#' mid-command is literal.
+        words = words_of("set a x#y")
+        assert words[2].literal_value() == "x#y"
+
+    def test_empty_script(self):
+        assert parse_script("") == []
+        assert parse_script("  \n\t ;; \n") == []
+
+    def test_backslash_newline_continues_command(self):
+        cmds = parse_script("set a \\\n 1")
+        assert len(cmds) == 1
+        assert len(cmds[0].words) == 3
+
+
+class TestQuoting:
+    def test_braces_are_literal(self):
+        word = words_of("set a {$x [y]}")[2]
+        assert word.braced
+        assert word.literal_value() == "$x [y]"
+
+    def test_nested_braces(self):
+        word = words_of("set a {x {y {z}} w}")[2]
+        assert word.literal_value() == "x {y {z}} w"
+
+    def test_quotes_group_whitespace(self):
+        word = words_of('set a "hello world"')[2]
+        assert word.parts == [("lit", "hello world")]
+
+    def test_missing_close_brace_raises(self):
+        with pytest.raises(TclError):
+            parse_script("set a {unclosed")
+
+    def test_missing_close_quote_raises(self):
+        with pytest.raises(TclError):
+            parse_script('set a "unclosed')
+
+    def test_extra_after_close_brace_raises(self):
+        with pytest.raises(TclError):
+            parse_script("set a {x}y")
+
+    def test_backslash_escapes(self):
+        word = words_of(r"set a x\ty")[2]
+        assert word.literal_value() == "x\ty"
+
+    def test_backslash_hex_escape(self):
+        assert words_of(r"set a \x41")[2].literal_value() == "A"
+
+    def test_backslash_octal_escape(self):
+        assert words_of(r"set a \101")[2].literal_value() == "A"
+
+    def test_brace_backslash_newline(self):
+        word = words_of("set a {one \\\n   two}")[2]
+        assert word.literal_value() == "one  two"
+
+
+class TestSubstitutionParts:
+    def test_variable_part(self):
+        word = words_of("set a $x")[2]
+        assert word.parts == [("var", ("x", None))]
+
+    def test_braced_variable_name(self):
+        word = words_of("set a ${weird name}")[2]
+        assert word.parts == [("var", ("weird name", None))]
+
+    def test_array_variable(self):
+        word = words_of("set a $arr(key)")[2]
+        kind, (name, index_parts) = word.parts[0]
+        assert kind == "var" and name == "arr"
+        assert index_parts == [("lit", "key")]
+
+    def test_array_index_substitution(self):
+        word = words_of("set a $arr($i)")[2]
+        __, (__, index_parts) = word.parts[0]
+        assert index_parts == [("var", ("i", None))]
+
+    def test_command_substitution(self):
+        word = words_of("set a [list 1 2]")[2]
+        assert word.parts == [("cmd", "list 1 2")]
+
+    def test_nested_command_substitution(self):
+        word = words_of("set a [outer [inner]]")[2]
+        assert word.parts == [("cmd", "outer [inner]")]
+
+    def test_mixed_parts(self):
+        word = words_of("set a pre$x[cmd]post")[2]
+        kinds = [p[0] for p in word.parts]
+        assert kinds == ["lit", "var", "cmd", "lit"]
+
+    def test_lone_dollar_is_literal(self):
+        word = words_of("set a $")[2]
+        assert word.parts == [("lit", "$")]
+
+    def test_unclosed_bracket_raises(self):
+        with pytest.raises(TclError):
+            parse_script("set a [list 1")
+
+
+class TestTclLists:
+    def test_simple_split(self):
+        assert string_to_list("a b c") == ["a", "b", "c"]
+
+    def test_braced_elements(self):
+        assert string_to_list("a {b c} d") == ["a", "b c", "d"]
+
+    def test_quoted_elements(self):
+        assert string_to_list('a "b c" d') == ["a", "b c", "d"]
+
+    def test_nested_braces_kept(self):
+        assert string_to_list("{a {b c}} d") == ["a {b c}", "d"]
+
+    def test_backslash_in_bare_element(self):
+        assert string_to_list(r"a\ b c") == ["a b", "c"]
+
+    def test_empty_string(self):
+        assert string_to_list("") == []
+        assert string_to_list("   \t\n") == []
+
+    def test_unmatched_brace_raises(self):
+        with pytest.raises(TclError):
+            string_to_list("{a b")
+
+    def test_quote_plain(self):
+        assert quote_element("abc") == "abc"
+
+    def test_quote_empty(self):
+        assert quote_element("") == "{}"
+
+    def test_quote_spaces(self):
+        assert quote_element("a b") == "{a b}"
+
+    def test_quote_special_chars(self):
+        assert quote_element("$x") == "{$x}"
+
+    def test_roundtrip(self):
+        values = ["plain", "two words", "", "{brace}", "$dollar", "back\\slash", "semi;colon"]
+        assert string_to_list(list_to_string(values)) == values
+
+    def test_roundtrip_unbalanced_brace(self):
+        values = ["open{", "close}"]
+        assert string_to_list(list_to_string(values)) == values

@@ -1,0 +1,111 @@
+"""Tests for variable traces (``trace variable``)."""
+
+import pytest
+
+from repro.tcl import Interp, TclError
+
+
+@pytest.fixture
+def tcl():
+    return Interp()
+
+
+class TestWriteTraces:
+    def test_write_trace_fires(self, tcl):
+        tcl.eval("set log {}")
+        tcl.eval("proc watch {n i op} {global log; lappend log $n:$op}")
+        tcl.eval("trace variable x w watch")
+        tcl.eval("set x 1")
+        tcl.eval("set x 2")
+        assert tcl.eval("set log") == "x:w x:w"
+
+    def test_trace_sees_current_value(self, tcl):
+        tcl.eval("proc mirror {n i op} {global seen x; set seen $x}")
+        tcl.eval("trace variable x w mirror")
+        tcl.eval("set x 42")
+        assert tcl.eval("set seen") == "42"
+
+    def test_array_element_write(self, tcl):
+        # The trace receives the array name and the element index.
+        tcl.eval("set log {}")
+        tcl.eval("proc watch {n i op} {global log; lappend log $n.$i}")
+        tcl.eval("trace variable a w watch")
+        tcl.eval("set a(key) v")
+        assert tcl.eval("set log") == "a.key"
+
+
+class TestReadTraces:
+    def test_read_trace_fires(self, tcl):
+        tcl.eval("set count 0")
+        tcl.eval("set x hello")
+        tcl.eval("trace variable x r {incr count ;#}")
+        tcl.eval("set y $x")
+        tcl.eval("set y $x")
+        assert tcl.eval("set count") == "2"
+
+    def test_read_trace_can_compute_value(self, tcl):
+        # The classic use: a variable whose value is computed on read.
+        tcl.eval("proc clockit {n i op} {global x; set x computed}")
+        tcl.eval("set x stale")
+        tcl.eval("trace variable x r clockit")
+        assert tcl.eval("set x") == "computed"
+
+
+class TestUnsetTraces:
+    def test_unset_trace_fires(self, tcl):
+        tcl.eval("set x 1")
+        tcl.eval("set gone {}")
+        tcl.eval("proc bye {n i op} {global gone; set gone $n-$op}")
+        tcl.eval("trace variable x u bye")
+        tcl.eval("unset x")
+        assert tcl.eval("set gone") == "x-u"
+
+
+class TestTraceManagement:
+    def test_vinfo_lists_traces(self, tcl):
+        tcl.eval("trace variable x w cmd1")
+        tcl.eval("trace variable x rw cmd2")
+        info = tcl.eval("trace vinfo x")
+        assert "w cmd1" in info and "rw cmd2" in info
+
+    def test_vdelete_removes(self, tcl):
+        tcl.eval("set n 0")
+        tcl.eval("trace variable x w {incr n ;#}")
+        tcl.eval("set x 1")
+        tcl.eval("trace vdelete x w {incr n ;#}")
+        tcl.eval("set x 2")
+        assert tcl.eval("set n") == "1"
+
+    def test_bad_ops_rejected(self, tcl):
+        with pytest.raises(TclError, match="bad operations"):
+            tcl.eval("trace variable x q cmd")
+
+    def test_trace_does_not_create_variable(self, tcl):
+        tcl.eval("trace variable ghost w cmd")
+        assert tcl.eval("info exists ghost") == "0"
+        with pytest.raises(TclError, match="no such variable"):
+            tcl.eval("set y $ghost")
+
+    def test_trace_is_not_reentrant(self, tcl):
+        # A write inside a write trace must not recurse forever.
+        tcl.eval("proc bump {n i op} {global x; set x inner}")
+        tcl.eval("trace variable x w bump")
+        tcl.eval("set x outer")
+        assert tcl.eval("set x") == "inner"
+
+
+class TestTracesInWafe:
+    def test_trace_drives_widget_update(self):
+        # Reactive GUI: a label mirrors a Tcl variable via a trace.
+        from repro.xlib import close_all_displays
+        from repro.core import make_wafe
+
+        close_all_displays()
+        wafe = make_wafe()
+        wafe.run_script("label out topLevel label {}")
+        wafe.run_script("realize")
+        wafe.run_script(
+            'proc sync {n i op} {global model; sV out label $model}')
+        wafe.run_script("trace variable model w sync")
+        wafe.run_script("set model {new value}")
+        assert wafe.run_script("gV out label") == "new value"

@@ -1,0 +1,83 @@
+"""AsciiText selections: the Xt selection mechanism through a widget."""
+
+import pytest
+
+from repro.xlib import close_all_displays
+from repro.core import make_wafe
+
+
+@pytest.fixture
+def wafe():
+    close_all_displays()
+    return make_wafe()
+
+
+class TestTextSelection:
+    def test_select_owns_primary(self, wafe):
+        wafe.run_script("asciiText t topLevel editType edit "
+                        "string {hello world}")
+        wafe.run_script("realize")
+        text = wafe.lookup_widget("t")
+        text.select(0, 5)
+        assert text.selected_text() == "hello"
+        display = wafe.app.default_display
+        assert display.get_selection_owner("PRIMARY") is text.window
+
+    def test_paste_between_widgets_via_primary(self, wafe):
+        # The classic X cut-and-paste: select in one text widget, press
+        # button 2 in another.
+        wafe.run_script("form f topLevel")
+        wafe.run_script("asciiText src f editType edit string {payload}")
+        wafe.run_script("asciiText dst f editType edit string {} "
+                        "fromVert src")
+        wafe.run_script("realize")
+        src = wafe.lookup_widget("src")
+        dst = wafe.lookup_widget("dst")
+        src.select(0, 7)
+        x, y = dst.window.absolute_origin()
+        wafe.app.default_display.click(x + 3, y + 3, button=2)
+        wafe.app.process_pending()
+        assert dst.get_string() == "payload"
+
+    def test_select_word_action(self, wafe):
+        wafe.run_script("asciiText t topLevel editType edit "
+                        "string {one two three}")
+        wafe.run_script("realize")
+        text = wafe.lookup_widget("t")
+        text.set_insertion_point(5)  # inside "two"
+        from repro.xaw.text import _action_select_word
+
+        _action_select_word(text, None, [])
+        assert text.selected_text() == "two"
+
+    def test_select_all_action(self, wafe):
+        wafe.run_script("asciiText t topLevel editType edit string {abc}")
+        wafe.run_script("realize")
+        text = wafe.lookup_widget("t")
+        from repro.xaw.text import _action_select_all
+
+        _action_select_all(text, None, [])
+        assert text.selected_text() == "abc"
+
+    def test_selection_readable_via_wafe_command(self, wafe):
+        wafe.run_script("asciiText t topLevel editType edit "
+                        "string {selected stuff}")
+        wafe.run_script("label asker topLevel -unmanaged")
+        wafe.run_script("realize")
+        wafe.run_script("realizeWidget asker")
+        wafe.lookup_widget("t").select(0, 8)
+        value = wafe.run_script("getSelectionValue asker PRIMARY STRING")
+        assert value == "selected"
+
+    def test_paste_into_readonly_is_refused(self, wafe):
+        wafe.run_script("form f topLevel")
+        wafe.run_script("asciiText src f editType edit string {x}")
+        wafe.run_script("asciiText ro f editType read string {fixed} "
+                        "fromVert src")
+        wafe.run_script("realize")
+        wafe.lookup_widget("src").select(0, 1)
+        ro = wafe.lookup_widget("ro")
+        x, y = ro.window.absolute_origin()
+        wafe.app.default_display.click(x + 3, y + 3, button=2)
+        wafe.app.process_pending()
+        assert ro.get_string() == "fixed"

@@ -1,0 +1,140 @@
+"""Tests for multi-event translation sequences (double-click et al.)."""
+
+import pytest
+
+from repro.xlib import close_all_displays, xtypes
+from repro.xlib.events import XEvent
+from repro.xt.translations import parse_translation_table
+from repro.core import make_wafe
+
+
+def press(button=1):
+    return XEvent(xtypes.ButtonPress, None, button=button)
+
+
+def release(button=1):
+    return XEvent(xtypes.ButtonRelease, None, button=button)
+
+
+class TestStatefulMatcher:
+    def table(self, text):
+        return parse_translation_table(text)
+
+    def test_sequence_fires_only_when_complete(self):
+        table = self.table("<Btn1Down>,<Btn1Up>: click()")
+        progress = {}
+        assert table.lookup_stateful(press(), progress) is None
+        assert table.lookup_stateful(release(), progress) == [("click", [])]
+
+    def test_sequence_resets_after_firing(self):
+        table = self.table("<Btn1Down>,<Btn1Up>: click()")
+        progress = {}
+        table.lookup_stateful(press(), progress)
+        table.lookup_stateful(release(), progress)
+        # A lone release does not fire again.
+        assert table.lookup_stateful(release(), progress) is None
+
+    def test_broken_sequence_resets(self):
+        table = self.table("<Btn1Down>,<Btn1Up>: click()")
+        progress = {}
+        table.lookup_stateful(press(), progress)
+        key = XEvent(xtypes.KeyPress, None, keycode=198)
+        assert table.lookup_stateful(key, progress) is None
+        # The earlier press no longer counts.
+        assert table.lookup_stateful(release(), progress) is None
+
+    def test_sequence_can_restart_mid_flight(self):
+        table = self.table("<Btn1Down>,<Btn1Down>: double()")
+        progress = {}
+        assert table.lookup_stateful(press(), progress) is None
+        assert table.lookup_stateful(press(), progress) == [("double", [])]
+
+    def test_triple_sequence(self):
+        table = self.table("<Key>a,<Key>b,<Key>c: abc()")
+
+        def key(keycode):
+            return XEvent(xtypes.KeyPress, None, keycode=keycode)
+
+        from repro.xlib.keysym import keysym_to_keycode
+
+        a, __ = keysym_to_keycode("a")
+        b, __ = keysym_to_keycode("b")
+        c, __ = keysym_to_keycode("c")
+        progress = {}
+        assert table.lookup_stateful(key(a), progress) is None
+        assert table.lookup_stateful(key(b), progress) is None
+        assert table.lookup_stateful(key(c), progress) == [("abc", [])]
+
+    def test_single_event_productions_unaffected(self):
+        table = self.table("<Btn1Down>: set()\n<Btn1Up>: notify()")
+        progress = {}
+        assert table.lookup_stateful(press(), progress) == [("set", [])]
+        assert table.lookup_stateful(release(), progress) == [("notify", [])]
+
+    def test_stateless_lookup_ignores_sequences(self):
+        table = self.table("<Btn1Down>,<Btn1Up>: click()")
+        assert table.lookup(press()) is None
+
+
+class TestThroughDispatch:
+    @pytest.fixture
+    def wafe(self):
+        close_all_displays()
+        return make_wafe()
+
+    def test_press_then_release_sequence_in_widget(self, wafe):
+        lines = []
+        wafe.interp.write_output = lambda t: lines.append(t.rstrip("\n"))
+        wafe.run_script("label l topLevel")
+        wafe.run_script("action l override "
+                        "{<Btn1Down>,<Btn1Up>: exec(echo full-click)}")
+        wafe.run_script("realize")
+        widget = wafe.lookup_widget("l")
+        x, y = widget.window.absolute_origin()
+        display = wafe.app.default_display
+        display.press_button(x + 1, y + 1)
+        wafe.app.process_pending()
+        assert lines == []  # not yet
+        display.release_button(x + 1, y + 1)
+        wafe.app.process_pending()
+        assert lines == ["full-click"]
+
+    def test_toggle_default_translation_is_a_sequence(self, wafe):
+        # Toggle's stock binding <Btn1Down>,<Btn1Up>: the state flips
+        # only once the button is released over the widget.
+        wafe.run_script("toggle t topLevel")
+        wafe.run_script("realize")
+        toggle = wafe.lookup_widget("t")
+        x, y = toggle.window.absolute_origin()
+        display = wafe.app.default_display
+        display.press_button(x + 1, y + 1)
+        wafe.app.process_pending()
+        assert toggle["state"] is False
+        display.release_button(x + 1, y + 1)
+        wafe.app.process_pending()
+        assert toggle["state"] is True
+
+    def test_sequences_are_per_widget(self, wafe):
+        lines = []
+        wafe.interp.write_output = lambda t: lines.append(t.rstrip("\n"))
+        wafe.run_script("form f topLevel")
+        wafe.run_script("label a f")
+        wafe.run_script("label b f fromHoriz a")
+        for name in ("a", "b"):
+            wafe.run_script("action %s override "
+                            "{<Btn1Down>,<Btn1Up>: exec(echo %s)}"
+                            % (name, name))
+        wafe.run_script("realize")
+        display = wafe.app.default_display
+        ax, ay = wafe.lookup_widget("a").window.absolute_origin()
+        bx, by = wafe.lookup_widget("b").window.absolute_origin()
+        # Press on a, but release on b: neither sequence completes on
+        # the other widget's window.
+        display.press_button(ax + 1, ay + 1)
+        display.release_button(bx + 1, by + 1)
+        wafe.app.process_pending()
+        assert lines == []
+        # A clean click on b fires b only.
+        display.click(bx + 1, by + 1)
+        wafe.app.process_pending()
+        assert lines == ["b"]

@@ -1,0 +1,70 @@
+"""Tests for the nameToWidget and setPrefix additions."""
+
+import sys
+import textwrap
+
+import pytest
+
+from repro.tcl.errors import TclError
+from repro.xlib import close_all_displays
+from repro.core import make_wafe
+from repro.core.frontend import Frontend
+
+
+@pytest.fixture
+def wafe():
+    close_all_displays()
+    return make_wafe()
+
+
+class TestNameToWidget:
+    def test_direct_path(self, wafe):
+        wafe.run_script("form f topLevel")
+        wafe.run_script("command deep f")
+        assert wafe.run_script("nameToWidget topLevel f.deep") == "deep"
+        assert wafe.run_script("nameToWidget f deep") == "deep"
+
+    def test_star_skips_levels(self, wafe):
+        wafe.run_script("form outer topLevel")
+        wafe.run_script("box middle outer")
+        wafe.run_script("label target middle")
+        assert wafe.run_script("nameToWidget topLevel *target") == "target"
+
+    def test_missing_path_raises(self, wafe):
+        wafe.run_script("form f topLevel")
+        with pytest.raises(TclError, match="no widget named"):
+            wafe.run_script("nameToWidget f ghost")
+
+
+class TestSetPrefix:
+    def test_prefix_change_takes_effect(self, wafe, tmp_path):
+        script = tmp_path / "prefix.py"
+        script.write_text(textwrap.dedent('''
+            import sys
+            print("%setPrefix @")
+            print("%this line is output now")
+            print("@set switched 1")
+            sys.stdout.flush()
+        '''))
+        passthrough = []
+        front = Frontend(wafe, [sys.executable, "-u", str(script)],
+                         passthrough=passthrough.append)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("switched"),
+                       max_idle=400)
+        front.close()
+        assert wafe.run_script("set switched") == "1"
+        assert passthrough == ["%this line is output now"]
+
+    def test_set_prefix_without_backend_rejected(self, wafe):
+        with pytest.raises(TclError, match="no application attached"):
+            wafe.run_script("setPrefix @")
+
+
+class TestTopLevelControlFlow:
+    def test_return_at_top_level_ends_script(self, wafe):
+        assert wafe.run_script("set a 1; return early; set a 2") == "early"
+        assert wafe.run_script("set a") == "1"
+
+    def test_break_at_top_level_is_error(self, wafe):
+        with pytest.raises(TclError, match="break"):
+            wafe.run_script("break")

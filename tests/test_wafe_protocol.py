@@ -1,0 +1,299 @@
+"""Tests for the communication machinery: line protocol, frontend mode
+with a real child process, mass transfer, and the three modes."""
+
+import io
+import os
+import sys
+import textwrap
+
+import pytest
+
+from repro.xlib import close_all_displays
+from repro.core import InteractiveSession, make_wafe, run_file
+from repro.core.channel import LineParser, LineTooLong, MassTransferState
+from repro.core.frontend import Frontend, backend_for_invocation
+
+
+@pytest.fixture
+def wafe():
+    close_all_displays()
+    return make_wafe()
+
+
+class TestLineParser:
+    def test_command_vs_output_classification(self):
+        parser = LineParser()
+        events = parser.feed("%label l topLevel\nplain text\n")
+        assert events == [("command", "label l topLevel"),
+                          ("output", "plain text")]
+
+    def test_incremental_feeding(self):
+        parser = LineParser()
+        assert parser.feed("%set a ") == []
+        assert parser.feed("1\n") == [("command", "set a 1")]
+
+    def test_counts(self):
+        parser = LineParser()
+        parser.feed("%a\nb\n%c\n")
+        assert parser.lines_seen == 3
+        assert parser.commands_seen == 2
+
+    def test_custom_prefix(self):
+        parser = LineParser(prefix="@")
+        events = parser.feed("@cmd\n%not\n")
+        assert events == [("command", "cmd"), ("output", "%not")]
+
+    def test_long_line_within_limit(self):
+        parser = LineParser()
+        payload = "x" * 60000
+        events = parser.feed("%set a " + payload + "\n")
+        assert events[0][1].endswith(payload)
+
+    def test_line_too_long_raises(self):
+        parser = LineParser(max_line=100)
+        with pytest.raises(LineTooLong):
+            parser.feed("%" + "x" * 200 + "\n")
+
+    def test_binary_garbage_survives(self):
+        parser = LineParser()
+        events = parser.feed(b"\xff\xfe plain\n")
+        assert events[0][0] == "output"
+
+
+class TestMassTransferState:
+    def test_accumulates_until_limit(self):
+        state = MassTransferState("C", 10, "done")
+        assert state.feed(b"12345") is None
+        assert state.missing == 5
+        payload, leftover = state.feed(b"67890abc")
+        assert payload == b"1234567890"
+        assert leftover == b"abc"
+
+
+def write_backend(tmp_path, body):
+    """A Python backend speaking the Wafe protocol on stdio."""
+    script = tmp_path / "backend.py"
+    script.write_text(textwrap.dedent(body))
+    return [sys.executable, "-u", str(script)]
+
+
+class TestFrontendMode:
+    def test_backend_builds_widgets_and_gets_answer(self, wafe, tmp_path):
+        command = write_backend(tmp_path, '''
+            import sys
+            print("%command hello topLevel callback {echo pressed}")
+            print("%realize")
+            sys.stdout.flush()
+            line = sys.stdin.readline().strip()
+            print("backend saw: " + line)
+            sys.stdout.flush()
+        ''')
+        passthrough = []
+        frontend = Frontend(wafe, command, passthrough=passthrough.append)
+
+        def realized():
+            widget = wafe.widgets.get("hello")
+            return widget is not None and widget.window is not None
+
+        wafe.main_loop(until=realized, max_idle=400)
+        assert wafe.run_script("widgetExists hello") == "1"
+        # Click the button: the callback echoes into the backend's stdin.
+        button = wafe.lookup_widget("hello")
+        x, y = button.window.absolute_origin()
+        wafe.app.default_display.click(x + 2, y + 2)
+        wafe.app.process_pending()
+        wafe.main_loop(until=lambda: any("backend saw" in l
+                                         for l in passthrough),
+                       max_idle=400)
+        frontend.close()
+        assert "backend saw: pressed" in passthrough
+
+    def test_non_command_lines_pass_through(self, wafe, tmp_path):
+        command = write_backend(tmp_path, '''
+            print("just output")
+            print("%set x 1")
+            print("more output")
+        ''')
+        passthrough = []
+        frontend = Frontend(wafe, command, passthrough=passthrough.append)
+        wafe.main_loop(until=lambda: len(passthrough) >= 2, max_idle=400)
+        frontend.close()
+        assert passthrough == ["just output", "more output"]
+        assert wafe.run_script("set x") == "1"
+
+    def test_backend_exit_ends_main_loop(self, wafe, tmp_path):
+        command = write_backend(tmp_path, 'print("%set done 1")')
+        frontend = Frontend(wafe, command)
+        wafe.main_loop(max_idle=400)
+        assert frontend.eof_seen
+        frontend.close()
+        assert wafe.run_script("set done") == "1"
+
+    def test_click_ahead_buffering(self, wafe, tmp_path):
+        # The paper: "click ahead is possible due to buffering in the
+        # I/O channels" -- clicks during backend busyness are not lost.
+        command = write_backend(tmp_path, '''
+            import sys, time
+            print("%command b topLevel callback {echo click}")
+            print("%realize")
+            sys.stdout.flush()
+            sys.stdin.readline()          # wait for the go-ahead
+            time.sleep(0.3)               # busy computing
+            seen = []
+            for line in sys.stdin:
+                seen.append(line.strip())
+                print("got %d" % len(seen))
+                sys.stdout.flush()
+                if len(seen) >= 3:
+                    break
+        ''')
+        passthrough = []
+        frontend = Frontend(wafe, command, passthrough=passthrough.append)
+
+        def realized():
+            widget = wafe.widgets.get("b")
+            return widget is not None and widget.window is not None
+
+        wafe.main_loop(until=realized, max_idle=400)
+        frontend.send("go\n")
+        button = wafe.lookup_widget("b")
+        x, y = button.window.absolute_origin()
+        # Three clicks while the backend sleeps: all are buffered.
+        for __ in range(3):
+            wafe.app.default_display.click(x + 2, y + 2)
+            wafe.app.process_pending()
+        wafe.main_loop(until=lambda: "got 3" in passthrough, max_idle=800)
+        frontend.close()
+        assert "got 3" in passthrough
+
+    def test_mass_transfer_channel(self, wafe, tmp_path):
+        # The paper's example: 100000 bytes over the data channel into
+        # the Tcl variable C, then run the completion command.
+        command = write_backend(tmp_path, '''
+            import os, sys
+            print("%asciiText text topLevel editType edit")
+            print("%echo listening on [getChannel]")
+            sys.stdout.flush()
+            line = sys.stdin.readline()     # "listening on N"
+            fd = int(line.split()[-1])
+            print("%setCommunicationVariable C 100000 "
+                  "{sV text string $C; echo stored}")
+            sys.stdout.flush()
+            os.write(fd, b"A" * 100000)
+            sys.stdin.readline()            # wait for "stored" ack? no:
+        ''')
+        passthrough = []
+        frontend = Frontend(wafe, command, passthrough=passthrough.append)
+        stored = []
+        wafe.interp.write_output = lambda t: stored.append(t)
+        # "echo" goes to the backend; watch the text widget instead.
+        def done():
+            try:
+                widget = wafe.widgets.get("text")
+                return widget is not None and \
+                    len(widget.get_string()) >= 100000
+            except Exception:
+                return False
+        wafe.main_loop(until=done, max_idle=1200)
+        frontend.close()
+        text = wafe.lookup_widget("text").get_string()
+        assert len(text) == 100000
+        assert set(text) == {"A"}
+
+    def test_init_com_resource(self, wafe, tmp_path):
+        # -xrm '*InitCom: ...' sends a startup command to the backend.
+        wafe.app.merge_resources("*InitCom: startup-goal.")
+        command = write_backend(tmp_path, '''
+            import sys
+            first = sys.stdin.readline().strip()
+            print("init: " + first)
+            sys.stdout.flush()
+        ''')
+        passthrough = []
+        frontend = Frontend(wafe, command, passthrough=passthrough.append)
+        wafe.main_loop(until=lambda: bool(passthrough), max_idle=400)
+        frontend.close()
+        assert passthrough == ["init: startup-goal."]
+
+    def test_symlink_naming_scheme(self):
+        assert backend_for_invocation("/usr/bin/X11/xwafeApp") == "wafeApp"
+        assert backend_for_invocation("xdirtree") == "dirtree"
+        assert backend_for_invocation("wafe") is None
+        assert backend_for_invocation("/usr/bin/X11/xwafe") is None
+
+
+class TestFileMode:
+    def test_paper_file_mode_script(self, wafe, tmp_path):
+        # Figure 4's file-mode example, with a quit so the loop ends.
+        script = tmp_path / "hello.wafe"
+        script.write_text(
+            "#!/usr/bin/X11/wafe --f\n"
+            'command hello topLevel label "Wafe new World" '
+            'callback "echo Goodbye; quit"\n'
+            "realize\n"
+            "quit\n"
+        )
+        run_file(wafe, str(script), max_idle=5)
+        assert wafe.run_script("widgetExists hello") == "1"
+        button = wafe.lookup_widget("hello")
+        assert button["label"] == "Wafe new World"
+        assert button.realized
+
+    def test_shebang_line_is_skipped(self, wafe, tmp_path):
+        script = tmp_path / "s.wafe"
+        script.write_text("#!/usr/bin/X11/wafe --f\nset ok 1\nquit\n")
+        run_file(wafe, str(script), max_idle=5)
+        assert wafe.run_script("set ok") == "1"
+
+
+class TestInteractiveMode:
+    def test_step_by_step_session(self, wafe):
+        output = io.StringIO()
+        session = InteractiveSession(wafe, output=output)
+        session.execute("label l topLevel")
+        session.execute("getResourceList l retVal")
+        session.execute("echo Resources: $retVal")
+        assert wafe.run_script("widgetExists l") == "1"
+        assert len(session.transcript) == 3
+        assert session.transcript[1][1] == "42"
+
+    def test_errors_reported_not_fatal(self, wafe):
+        output = io.StringIO()
+        session = InteractiveSession(wafe, output=output)
+        session.execute("nosuchcommand")
+        session.execute("set ok 1")
+        assert "Error:" in output.getvalue()
+        assert wafe.run_script("set ok") == "1"
+
+    def test_run_reads_stream_until_quit(self, wafe):
+        output = io.StringIO()
+        session = InteractiveSession(wafe, output=output)
+        transcript = session.run(io.StringIO("set a 5\nquit\nset b 6\n"))
+        assert wafe.run_script("set a") == "5"
+        assert wafe.quit_requested
+        assert len(transcript) == 2  # 'set b' never ran
+
+
+class TestCliArgumentSplitting:
+    def test_paper_rules(self):
+        from repro.core.cli import split_arguments
+
+        options, xt_args, app_args = split_arguments(
+            ["--f", "script.wafe", "-display", "host:0", "extra"])
+        assert options == {"f": "script.wafe"}
+        assert xt_args == ["-display", "host:0"]
+        assert app_args == ["extra"]
+
+    def test_xrm_goes_to_xt(self):
+        from repro.core.cli import split_arguments
+
+        __, xt_args, __ = split_arguments(["-xrm", "*InitCom: go."])
+        assert xt_args == ["-xrm", "*InitCom: go."]
+
+    def test_app_option(self):
+        from repro.core.cli import split_arguments
+
+        options, __, app_args = split_arguments(
+            ["--app", "backend", "arg1", "arg2"])
+        assert options["app"] == "backend"
+        assert app_args == ["arg1", "arg2"]

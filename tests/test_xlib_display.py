@@ -1,0 +1,216 @@
+"""Tests for the simulated display server: windows, events, grabs."""
+
+import pytest
+
+from repro.xlib import close_all_displays, open_display, xtypes
+from repro.xlib.events import XEvent
+
+
+@pytest.fixture
+def display():
+    close_all_displays()
+    return open_display(":0")
+
+
+def make_window(display, parent=None, x=0, y=0, w=100, h=50):
+    window = display.create_window(parent, x, y, w, h)
+    window.map()
+    return window
+
+
+class TestWindowTree:
+    def test_root_exists_and_mapped(self, display):
+        assert display.root.mapped
+        assert display.root.width == 1024
+
+    def test_create_child(self, display):
+        window = display.create_window(None, 10, 20, 100, 50)
+        assert window.parent is display.root
+        assert window in display.root.children
+
+    def test_absolute_origin_nested(self, display):
+        outer = make_window(display, x=10, y=20)
+        inner = make_window(display, parent=outer, x=5, y=6)
+        assert inner.absolute_origin() == (15, 26)
+
+    def test_viewable_requires_all_ancestors_mapped(self, display):
+        outer = display.create_window(None, 0, 0, 100, 100)
+        inner = display.create_window(outer, 0, 0, 10, 10)
+        inner.map()
+        assert not inner.viewable()
+        outer.map()
+        assert inner.viewable()
+
+    def test_destroy_removes_subtree(self, display):
+        outer = make_window(display)
+        inner = make_window(display, parent=outer)
+        outer.destroy()
+        assert inner.destroyed
+        assert outer not in display.root.children
+
+    def test_window_at_picks_deepest(self, display):
+        outer = make_window(display, x=0, y=0, w=200, h=200)
+        inner = make_window(display, parent=outer, x=50, y=50, w=20, h=20)
+        assert display.window_at(55, 55) is inner
+        assert display.window_at(10, 10) is outer
+
+    def test_window_at_honours_z_order(self, display):
+        below = make_window(display, x=0, y=0, w=100, h=100)
+        above = make_window(display, x=0, y=0, w=100, h=100)
+        assert display.window_at(5, 5) is above
+        below.raise_window()
+        assert display.window_at(5, 5) is below
+
+    def test_configure_generates_expose(self, display):
+        window = make_window(display)
+        window.select_input(xtypes.ExposureMask)
+        while display.pending():
+            display.next_event()
+        window.configure(width=300)
+        types = [display.next_event().type for __ in range(display.pending())]
+        assert xtypes.Expose in types
+
+
+class TestEventQueue:
+    def test_map_generates_expose_when_selected(self, display):
+        window = display.create_window(None, 0, 0, 50, 50)
+        window.select_input(xtypes.ExposureMask)
+        window.map()
+        event = display.next_event()
+        assert event.type == xtypes.Expose
+        assert event.window is window
+
+    def test_no_expose_without_mask(self, display):
+        window = display.create_window(None, 0, 0, 50, 50)
+        window.map()
+        assert display.pending() == 0
+
+    def test_put_and_next_fifo(self, display):
+        window = make_window(display)
+        display.put_event(XEvent(xtypes.KeyPress, window, keycode=1))
+        display.put_event(XEvent(xtypes.KeyPress, window, keycode=2))
+        assert display.next_event().keycode == 1
+        assert display.next_event().keycode == 2
+
+    def test_event_gets_timestamp(self, display):
+        window = make_window(display)
+        display.put_event(XEvent(xtypes.KeyPress, window))
+        assert display.next_event().time > 0
+
+    def test_destroy_flushes_window_events(self, display):
+        window = make_window(display)
+        display.put_event(XEvent(xtypes.KeyPress, window))
+        window.destroy()
+        remaining = [display.next_event() for __ in range(display.pending())]
+        assert all(e.window is not window for e in remaining)
+
+
+class TestPointer:
+    def test_button_press_targets_window_under_pointer(self, display):
+        window = make_window(display, x=10, y=10, w=50, h=30)
+        window.select_input(xtypes.ButtonPressMask)
+        display.press_button(20, 20)
+        event = display.next_event()
+        assert event.type == xtypes.ButtonPress
+        assert event.window is window
+        assert (event.x, event.y) == (10, 10)
+        assert (event.x_root, event.y_root) == (20, 20)
+
+    def test_click_gives_press_then_release(self, display):
+        window = make_window(display)
+        display.click(5, 5)
+        assert display.next_event().type == xtypes.ButtonPress
+        assert display.next_event().type == xtypes.ButtonRelease
+
+    def test_button_state_tracked(self, display):
+        make_window(display)
+        display.press_button(5, 5, button=1)
+        assert display.pointer_state & xtypes.Button1Mask
+        display.release_button(5, 5, button=1)
+        assert not display.pointer_state & xtypes.Button1Mask
+
+    def test_enter_leave_crossing(self, display):
+        left = make_window(display, x=0, y=0, w=50, h=50)
+        right = make_window(display, x=100, y=0, w=50, h=50)
+        left.select_input(xtypes.EnterWindowMask | xtypes.LeaveWindowMask)
+        right.select_input(xtypes.EnterWindowMask | xtypes.LeaveWindowMask)
+        display.warp_pointer(10, 10)
+        assert display.next_event().type == xtypes.EnterNotify
+        display.warp_pointer(110, 10)
+        leave = display.next_event()
+        enter = display.next_event()
+        assert leave.type == xtypes.LeaveNotify and leave.window is left
+        assert enter.type == xtypes.EnterNotify and enter.window is right
+
+    def test_grab_redirects_outside_clicks(self, display):
+        popup = make_window(display, x=0, y=0, w=50, h=50)
+        other = make_window(display, x=100, y=0, w=50, h=50)
+        other.select_input(xtypes.ButtonPressMask)
+        popup.select_input(xtypes.ButtonPressMask)
+        display.grab_pointer(popup)
+        display.press_button(110, 10)  # over 'other'
+        event = display.next_event()
+        assert event.window is popup
+        display.ungrab_pointer()
+        display.release_button(110, 10)
+
+
+class TestKeyboard:
+    def test_press_key_targets_focus(self, display):
+        window = make_window(display)
+        display.set_input_focus(window)
+        display.press_key(None, 198)
+        event = display.next_event()
+        assert event.type == xtypes.KeyPress
+        assert event.window is window
+        assert event.keycode == 198
+
+    def test_type_string_generates_shift_sequence(self, display):
+        window = make_window(display)
+        display.type_string(window, "w!")
+        presses = []
+        while display.pending():
+            event = display.next_event()
+            if event.type == xtypes.KeyPress:
+                presses.append((event.keycode, event.state))
+        # w, Shift_L, then shifted '1' -- the paper's exact scenario.
+        assert presses == [(198, 0), (174, 0), (197, xtypes.ShiftMask)]
+
+
+class TestSelections:
+    def test_owner_and_convert(self, display):
+        owner = make_window(display)
+        requestor = make_window(display)
+        display.set_selection_owner("PRIMARY", owner,
+                                    lambda target: "hello selection")
+        assert display.get_selection_owner("PRIMARY") is owner
+        display.convert_selection("PRIMARY", "STRING", requestor)
+        events = [display.next_event() for __ in range(display.pending())]
+        notify = [e for e in events if e.type == xtypes.SelectionNotify][0]
+        assert notify.data == "hello selection"
+
+    def test_losing_selection_sends_clear(self, display):
+        first = make_window(display)
+        first.select_input(0xFFFFFFFF)
+        second = make_window(display)
+        display.set_selection_owner("PRIMARY", first, lambda t: "a")
+        display.set_selection_owner("PRIMARY", second, lambda t: "b")
+        events = [display.next_event() for __ in range(display.pending())]
+        assert any(e.type == xtypes.SelectionClear and e.window is first
+                   for e in events)
+
+    def test_convert_unowned_selection(self, display):
+        requestor = make_window(display)
+        display.convert_selection("PRIMARY", "STRING", requestor)
+        events = [display.next_event() for __ in range(display.pending())]
+        notify = [e for e in events if e.type == xtypes.SelectionNotify][0]
+        assert notify.property is None
+
+
+class TestMultipleDisplays:
+    def test_named_displays_are_distinct(self):
+        close_all_displays()
+        one = open_display(":0")
+        two = open_display("dec4:0")
+        assert one is not two
+        assert open_display(":0") is one

@@ -1,0 +1,270 @@
+"""Tests for colors, fonts, drawing, and image formats."""
+
+import numpy
+import pytest
+
+from repro.xlib import close_all_displays, open_display
+from repro.xlib.colors import alloc_color, ColorError, parse_color, pixel_to_rgb
+from repro.xlib.fonts import default_font, FontError, list_fonts, load_font
+from repro.xlib.graphics import (
+    GC,
+    Pixmap,
+    clear_area,
+    copy_area,
+    draw_line,
+    draw_rectangle,
+    draw_string,
+    fill_rectangle,
+    put_image,
+    window_pixels,
+)
+from repro.xlib.xpm import (
+    ImageFormatError,
+    parse_xbm,
+    parse_xpm,
+    read_image_file,
+    TRANSPARENT,
+    write_xpm,
+)
+
+
+class TestColors:
+    def test_named_colors(self):
+        assert parse_color("red") == (255, 0, 0)
+        assert parse_color("tomato") == (255, 99, 71)
+        assert parse_color("LightSteelBlue") == (176, 196, 222)
+        assert parse_color("navy blue") == (0, 0, 128)
+
+    def test_hex_forms(self):
+        assert parse_color("#ff0000") == (255, 0, 0)
+        assert parse_color("#f00") == (255, 0, 0)
+        assert parse_color("#ffff00000000") == (255, 0, 0)
+
+    def test_bad_color_raises(self):
+        with pytest.raises(ColorError):
+            parse_color("notacolor")
+        with pytest.raises(ColorError):
+            parse_color("#12345")
+
+    def test_pixel_roundtrip(self):
+        pixel = alloc_color("tomato")
+        assert pixel_to_rgb(pixel) == (255, 99, 71)
+
+
+class TestFonts:
+    def test_fixed_alias(self):
+        font = load_font("fixed")
+        assert font.family == "fixed"
+        assert font.monospace
+
+    def test_paper_lucida_patterns(self):
+        medium = load_font("*b&h-lucida-medium-r*14*")
+        bold = load_font("*b&h-lucida-bold-r*14*")
+        assert medium.family == "lucida" and medium.size == 14
+        assert bold.weight == "bold"
+
+    def test_list_fonts(self):
+        names = list_fonts("*lucida*")
+        assert names and all("lucida" in n for n in names)
+
+    def test_no_match_raises(self):
+        with pytest.raises(FontError):
+            load_font("*nonexistentfamily*")
+
+    def test_metrics_sane(self):
+        font = load_font("fixed")
+        assert font.ascent > 0 and font.descent >= 0
+        assert font.text_width("hello") > font.text_width("hi")
+        assert font.char_width("w") > 0
+
+    def test_bold_wider(self):
+        medium = load_font("*lucida-medium-r*14*")
+        bold = load_font("*lucida-bold-r*14*")
+        assert bold.text_width("wafe") > medium.text_width("wafe")
+
+    def test_glyphs_deterministic_and_distinct(self):
+        font = default_font()
+        assert font.glyph_bits("a") == font.glyph_bits("a")
+        assert font.glyph_bits("a") != font.glyph_bits("b")
+        assert font.glyph_bits(" ") == [0] * 7
+
+
+@pytest.fixture
+def window():
+    close_all_displays()
+    display = open_display(":0")
+    win = display.create_window(None, 10, 10, 100, 80)
+    win.map()
+    return win
+
+
+class TestDrawing:
+    def test_fill_rectangle_paints(self, window):
+        gc = GC(foreground=alloc_color("red"))
+        fill_rectangle(window, gc, 0, 0, 10, 10)
+        pixels = window_pixels(window)
+        assert pixels[5, 5] == alloc_color("red")
+        assert pixels[20, 20] != alloc_color("red")
+
+    def test_fill_clips_to_window(self, window):
+        gc = GC(foreground=alloc_color("blue"))
+        fill_rectangle(window, gc, 90, 70, 50, 50)  # spills past the edge
+        fb = window.display.screen.framebuffer
+        # Inside (abs 10+95, 10+75) painted, outside the window not.
+        assert fb[80, 102] == alloc_color("blue")
+        assert fb[95, 115] != alloc_color("blue")
+
+    def test_draw_rectangle_outline_only(self, window):
+        gc = GC(foreground=alloc_color("black"))
+        draw_rectangle(window, gc, 0, 0, 20, 20)
+        pixels = window_pixels(window)
+        assert pixels[0, 5] == alloc_color("black")
+        assert pixels[10, 10] != alloc_color("black")
+
+    def test_draw_line_endpoints(self, window):
+        gc = GC(foreground=alloc_color("green"))
+        draw_line(window, gc, 0, 0, 30, 30)
+        pixels = window_pixels(window)
+        assert pixels[0, 0] == alloc_color("green")
+        assert pixels[30, 30] == alloc_color("green")
+        assert pixels[15, 15] == alloc_color("green")
+
+    def test_draw_string_changes_pixels(self, window):
+        gc = GC(foreground=alloc_color("black"))
+        before = window_pixels(window).copy()
+        width = draw_string(window, gc, 5, 20, "wafe")
+        after = window_pixels(window)
+        assert width == gc.font.text_width("wafe")
+        assert (before != after).any()
+
+    def test_different_strings_paint_differently(self, window):
+        gc = GC(foreground=alloc_color("black"))
+        draw_string(window, gc, 5, 20, "aaaa")
+        first = window_pixels(window).copy()
+        clear_area(window)
+        draw_string(window, gc, 5, 20, "bbbb")
+        second = window_pixels(window)
+        assert (first != second).any()
+
+    def test_clear_area_resets_background(self, window):
+        gc = GC(foreground=alloc_color("red"))
+        fill_rectangle(window, gc, 0, 0, 100, 80)
+        clear_area(window)
+        assert (window_pixels(window) == window.background_pixel).all()
+
+    def test_copy_area_between_drawables(self, window):
+        pixmap = Pixmap(20, 20)
+        gc = GC(foreground=alloc_color("purple"))
+        fill_rectangle(pixmap, gc, 0, 0, 20, 20)
+        copy_area(pixmap, window, gc, 0, 0, 20, 20, 30, 30)
+        pixels = window_pixels(window)
+        assert pixels[35, 35] == alloc_color("purple")
+
+    def test_pixmap_is_standalone(self):
+        pixmap = Pixmap(10, 10, depth=1)
+        gc = GC(foreground=1)
+        fill_rectangle(pixmap, gc, 2, 2, 3, 3)
+        assert pixmap.framebuffer[3, 3] == 1
+        assert pixmap.framebuffer[0, 0] == 0
+
+
+_XPM = """/* XPM */
+static char * test[] = {
+"4 3 3 1",
+"  c None",
+". c #FF0000",
+"X c blue",
+" .X ",
+"....",
+"X  X"};
+"""
+
+_XBM = """#define test_width 8
+#define test_height 2
+static char test_bits[] = { 0x01, 0x80 };
+"""
+
+
+class TestImageFormats:
+    def test_parse_xpm(self):
+        image = parse_xpm(_XPM)
+        assert image.shape == (3, 4)
+        assert image[0, 0] == TRANSPARENT
+        assert image[0, 1] == alloc_color("red")
+        assert image[0, 2] == alloc_color("blue")
+        assert (image[1] == alloc_color("red")).all()
+
+    def test_parse_xbm_lsb_first(self):
+        image = parse_xbm(_XBM)
+        assert image.shape == (2, 8)
+        assert image[0, 0] == 1 and image[0, 1] == 0
+        assert image[1, 7] == 1 and image[1, 0] == 0
+
+    def test_xpm_roundtrip(self):
+        image = parse_xpm(_XPM)
+        again = parse_xpm(write_xpm(image))
+        assert (again == image).all()
+
+    def test_bad_xpm_raises(self):
+        with pytest.raises(ImageFormatError):
+            parse_xpm("not an xpm at all")
+
+    def test_read_image_file_fallback(self, tmp_path):
+        xbm_file = tmp_path / "icon.xbm"
+        xbm_file.write_text(_XBM)
+        xpm_file = tmp_path / "icon.xpm"
+        xpm_file.write_text(_XPM)
+        __, kind = read_image_file(str(xbm_file))
+        assert kind == "xbm"
+        __, kind = read_image_file(str(xpm_file))
+        assert kind == "xpm"
+
+    def test_put_image(self, window):
+        image = parse_xpm(_XPM)
+        put_image(window, GC(), image, 0, 0)
+        pixels = window_pixels(window)
+        assert pixels[1, 0] == alloc_color("red")
+
+    def test_put_image_transparency_mask(self, window):
+        # 'None' XPM cells leave the destination untouched.
+        gc = GC(foreground=alloc_color("yellow"))
+        fill_rectangle(window, gc, 0, 0, 10, 10)
+        image = parse_xpm(_XPM)
+        put_image(window, GC(), image, 0, 0)
+        pixels = window_pixels(window)
+        assert pixels[0, 0] == alloc_color("yellow")  # transparent cell
+        assert pixels[0, 1] == alloc_color("red")     # opaque cell
+
+
+class TestKeysyms:
+    def test_paper_pinned_keycodes(self):
+        from repro.xlib.keysym import char_to_keycode, keysym_to_keycode
+
+        assert char_to_keycode("w") == (198, False)
+        assert char_to_keycode("!") == (197, True)
+        assert keysym_to_keycode("Shift_L") == (174, False)
+
+    def test_lookup_string(self):
+        from repro.xlib.keysym import lookup_string, string_to_keysym
+
+        text, sym = lookup_string(198)
+        assert text == "w" and sym == ord("w")
+        text, sym = lookup_string(197, shifted=True)
+        assert text == "!" and sym == ord("!")
+        text, sym = lookup_string(174)
+        assert text == "" and sym == string_to_keysym("Shift_L")
+
+    def test_keysym_names(self):
+        from repro.xlib.keysym import keysym_to_string, string_to_keysym
+
+        assert string_to_keysym("exclam") == ord("!")
+        assert keysym_to_string(ord("!")) == "exclam"
+        assert keysym_to_string(string_to_keysym("Return")) == "Return"
+        assert keysym_to_string(ord("w")) == "w"
+
+    def test_every_printable_ascii_typable(self):
+        from repro.xlib.keysym import char_to_keycode
+
+        for code in range(33, 127):
+            keycode, __ = char_to_keycode(chr(code))
+            assert keycode != 0, "no key for %r" % chr(code)

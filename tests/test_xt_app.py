@@ -1,0 +1,213 @@
+"""Tests for the application context: timers, inputs, loop, converters."""
+
+import os
+import time
+
+import pytest
+
+from repro.xlib import close_all_displays, xtypes
+from repro.xlib.events import XEvent
+from repro.xt import ApplicationShell, XtAppContext
+from repro.xt.converters import ConversionError
+from repro.xaw import Label
+
+
+@pytest.fixture
+def app():
+    close_all_displays()
+    return XtAppContext()
+
+
+@pytest.fixture
+def top(app):
+    return ApplicationShell("topLevel", None, app=app)
+
+
+class TestTimeouts:
+    def test_timeout_fires_once(self, app):
+        fired = []
+        app.add_timeout(1, lambda: fired.append(1))
+        app.main_loop(until=lambda: bool(fired), max_idle=100)
+        assert fired == [1]
+        # It does not fire again.
+        app.main_loop(max_idle=3)
+        assert fired == [1]
+
+    def test_timeouts_fire_in_deadline_order(self, app):
+        order = []
+        app.add_timeout(30, lambda: order.append("late"))
+        app.add_timeout(1, lambda: order.append("early"))
+        app.main_loop(until=lambda: len(order) == 2, max_idle=200)
+        assert order == ["early", "late"]
+
+    def test_remove_timeout(self, app):
+        fired = []
+        timeout_id = app.add_timeout(1, lambda: fired.append(1))
+        app.remove_timeout(timeout_id)
+        app.main_loop(max_idle=5)
+        assert fired == []
+
+    def test_timeout_args(self, app):
+        seen = []
+        app.add_timeout(1, lambda a, b: seen.append((a, b)), "x", 2)
+        app.main_loop(until=lambda: bool(seen), max_idle=100)
+        assert seen == [("x", 2)]
+
+
+class TestInputs:
+    def test_input_fires_when_readable(self, app):
+        read_fd, write_fd = os.pipe()
+        os.set_blocking(read_fd, False)
+        received = []
+        reader = os.fdopen(read_fd, "rb", buffering=0)
+        app.add_input(reader, lambda f: received.append(os.read(read_fd,
+                                                                100)))
+        os.write(write_fd, b"ping")
+        app.main_loop(until=lambda: bool(received), max_idle=100)
+        assert received == [b"ping"]
+        os.close(write_fd)
+        reader.close()
+
+    def test_remove_input(self, app):
+        read_fd, write_fd = os.pipe()
+        reader = os.fdopen(read_fd, "rb", buffering=0)
+        received = []
+        input_id = app.add_input(reader, lambda f: received.append(1))
+        app.remove_input(input_id)
+        os.write(write_fd, b"x")
+        app.main_loop(max_idle=3)
+        assert received == []
+        os.close(write_fd)
+        reader.close()
+
+
+class TestWorkProcs:
+    def test_work_proc_runs_when_idle(self, app):
+        count = []
+        app.add_work_proc(lambda: (count.append(1), len(count) >= 2)[1])
+        app.main_loop(max_idle=20)
+        assert len(count) == 2  # removed itself after returning True
+
+    def test_work_proc_yields_to_events(self, app, top):
+        # Events are always served before work procs.
+        order = []
+        Label("l", top)
+        top.realize()
+        app.process_pending()
+        app.add_work_proc(lambda: (order.append("work"), True)[1])
+        app.default_display.put_event(
+            XEvent(xtypes.Expose, top.window))
+        app.dispatch_hook = lambda w, e: order.append("event")
+        app.main_loop(max_idle=10)
+        assert order[0] == "event"
+        assert "work" in order
+
+
+class TestMainLoop:
+    def test_exits_when_no_sources(self, app):
+        start = time.perf_counter()
+        app.main_loop()
+        assert time.perf_counter() - start < 1.0
+
+    def test_until_predicate(self, app):
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            app.add_timeout(1, tick)
+
+        app.add_timeout(1, tick)
+        app.main_loop(until=lambda: state["n"] >= 3, max_idle=500)
+        assert state["n"] >= 3
+
+    def test_exit_loop(self, app):
+        app.add_timeout(1, app.exit_loop)
+        app.main_loop(max_idle=500)
+        assert app.quit_requested
+
+
+class TestDispatch:
+    def test_dispatch_hook_sees_all_events(self, app, top):
+        seen = []
+        app.dispatch_hook = lambda w, e: seen.append((w, e.type))
+        Label("l", top)
+        top.realize()
+        app.process_pending()
+        assert any(t == xtypes.Expose for __, t in seen)
+
+    def test_event_for_destroyed_widget_ignored(self, app, top):
+        label = Label("l", top)
+        top.realize()
+        app.process_pending()
+        window = label.window
+        label.destroy()
+        app.dispatch_event(XEvent(xtypes.ButtonPress, window, button=1))
+        # No exception; nothing dispatched.
+
+    def test_unbound_action_skipped_not_fatal(self, app, top):
+        from repro.xt.translations import parse_translation_table
+
+        hits = []
+        app.register_action("known", lambda w, e, a: hits.append(1))
+        label = Label("l", top)
+        label.resources["translations"] = parse_translation_table(
+            "<Btn1Down>: missing() known()")
+        top.realize()
+        app.process_pending()
+        x, y = label.window.absolute_origin()
+        app.default_display.press_button(x + 1, y + 1)
+        app.process_pending()
+        assert hits == [1]
+
+    def test_event_count_increments(self, app, top):
+        top.realize()
+        before = app.event_count
+        app.dispatch_event(XEvent(xtypes.Expose, top.window))
+        assert app.event_count == before + 1
+
+
+class TestConverters:
+    def make_label(self, top, **args):
+        return Label("x%d" % id(args), top,
+                     args={k: v for k, v in args.items()})
+
+    def test_bad_dimension(self, app, top):
+        with pytest.raises(ConversionError):
+            self.make_label(top, width="-5")
+
+    def test_bad_color(self, app, top):
+        with pytest.raises(ConversionError):
+            self.make_label(top, background="notacolor")
+
+    def test_bad_boolean(self, app, top):
+        with pytest.raises(ConversionError):
+            self.make_label(top, sensitive="maybe")
+
+    def test_bad_font(self, app, top):
+        with pytest.raises(ConversionError):
+            self.make_label(top, font="*no-such-font-anywhere*")
+
+    def test_bad_justify(self, app, top):
+        with pytest.raises(ConversionError):
+            self.make_label(top, justify="diagonal")
+
+    def test_hex_int(self, app, top):
+        label = self.make_label(top, depth="0x18")
+        assert label["depth"] == 24
+
+    def test_xt_default_fore_back(self, app, top):
+        label = self.make_label(top, background="XtDefaultBackground",
+                                foreground="XtDefaultForeground")
+        assert label["background"] == 0xFFFFFF
+        assert label["foreground"] == 0x000000
+
+    def test_bitmap_converter_reads_file(self, app, top, tmp_path):
+        xbm = tmp_path / "icon.xbm"
+        xbm.write_text("#define i_width 8\n#define i_height 1\n"
+                       "static char i_bits[] = {0x0f};\n")
+        label = Label("withbitmap", top, args={"bitmap": str(xbm)})
+        assert label["bitmap"].shape == (1, 8)
+
+    def test_unconvert_boolean(self, app, top):
+        label = self.make_label(top, sensitive="on")
+        assert label.get_value_string("sensitive") == "True"

@@ -1,0 +1,224 @@
+"""Tests for the Xrm resource database and translation parsing."""
+
+import pytest
+
+from repro.xlib import xtypes
+from repro.xlib.events import XEvent
+from repro.xt.translations import (
+    TranslationError,
+    merge_tables,
+    parse_translation_table,
+)
+from repro.xt.xrm import XrmDatabase, parse_specifier
+
+
+class TestSpecifierParsing:
+    def test_tight_bindings(self):
+        bindings, components = parse_specifier("a.b.c")
+        assert components == ["a", "b", "c"]
+        assert bindings == [".", ".", "."]
+
+    def test_loose_bindings(self):
+        bindings, components = parse_specifier("*Font")
+        assert components == ["Font"]
+        assert bindings == ["*"]
+
+    def test_mixed(self):
+        bindings, components = parse_specifier("wafe*form.label")
+        assert components == ["wafe", "form", "label"]
+        assert bindings == [".", "*", "."]
+
+    def test_star_absorbs_dot(self):
+        bindings, components = parse_specifier("a.*b")
+        assert bindings == [".", "*"]
+
+
+class TestQuery:
+    def q(self, db, names, classes):
+        return db.query(names.split(), classes.split())
+
+    def test_loose_wildcard_matches_any_depth(self):
+        db = XrmDatabase()
+        db.put("*foreground", "blue")
+        assert self.q(db, "wafe form button foreground",
+                      "Wafe Form Command Foreground") == "blue"
+        assert self.q(db, "wafe foreground", "Wafe Foreground") == "blue"
+
+    def test_tight_binding_requires_adjacency(self):
+        db = XrmDatabase()
+        db.put("wafe.button.foreground", "red")
+        assert self.q(db, "wafe button foreground",
+                      "Wafe Command Foreground") == "red"
+        assert self.q(db, "wafe form button foreground",
+                      "Wafe Form Command Foreground") is None
+
+    def test_class_match(self):
+        db = XrmDatabase()
+        db.put("*Command.background", "gray")
+        assert self.q(db, "wafe form quit background",
+                      "Wafe Form Command Background") == "gray"
+        assert self.q(db, "wafe form lab background",
+                      "Wafe Form Label Background") is None
+
+    def test_name_beats_class(self):
+        db = XrmDatabase()
+        db.put("*Command.label", "by-class")
+        db.put("*quit.label", "by-name")
+        assert self.q(db, "wafe quit label",
+                      "Wafe Command Label") == "by-name"
+
+    def test_earlier_levels_dominate(self):
+        db = XrmDatabase()
+        db.put("wafe*label", "app-name")   # name match at level 0
+        db.put("*form.label", "late-name")  # deeper name match
+        assert self.q(db, "wafe form label",
+                      "Wafe Form Label") == "app-name"
+
+    def test_later_entry_wins_ties(self):
+        db = XrmDatabase()
+        db.put("*label", "first")
+        db.put("*label", "second")
+        assert self.q(db, "wafe form label", "Wafe Form Label") == "second"
+
+    def test_question_mark(self):
+        db = XrmDatabase()
+        db.put("wafe.?.label", "q")
+        assert self.q(db, "wafe anything label",
+                      "Wafe Form Label") == "q"
+
+    def test_resource_file_parsing(self):
+        db = XrmDatabase()
+        db.put_lines(
+            "! a comment\n"
+            "*Font: fixed\n"
+            "wafe.title:  Hello World \n"
+            "\n"
+            "*background:\tred\n"
+        )
+        assert len(db) == 3
+        assert self.q(db, "wafe form font", "Wafe Form Font") == "fixed"
+        assert self.q(db, "wafe title", "Wafe Title") == "Hello World "
+        assert self.q(db, "wafe background", "Wafe Background") == "red"
+
+    def test_continuation_lines(self):
+        db = XrmDatabase()
+        db.put_lines("*trans: one\\\ntwo\n")
+        assert self.q(db, "a trans", "A Trans") == "onetwo"
+
+    def test_merge_overrides(self):
+        base = XrmDatabase()
+        base.put("*color", "old")
+        extra = XrmDatabase()
+        extra.put("*color", "new")
+        base.merge(extra)
+        assert self.q(base, "w color", "W Color") == "new"
+
+
+class TestTranslationParsing:
+    def test_paper_enterwindow_production(self):
+        table = parse_translation_table("<EnterWindow>: PopupMenu()")
+        assert len(table) == 1
+        event = XEvent(xtypes.EnterNotify, None)
+        assert table.lookup(event) == [("PopupMenu", [])]
+
+    def test_paper_keypress_exec(self):
+        table = parse_translation_table("<KeyPress>: exec(echo %k %a %s)")
+        event = XEvent(xtypes.KeyPress, None, keycode=198)
+        assert table.lookup(event) == [("exec", ["echo %k %a %s"])]
+
+    def test_key_with_detail(self):
+        table = parse_translation_table("<Key>Return: newline()")
+        hit = XEvent(xtypes.KeyPress, None, keycode=189)  # Return key
+        miss = XEvent(xtypes.KeyPress, None, keycode=198)  # 'w'
+        assert table.lookup(hit) == [("newline", [])]
+        assert table.lookup(miss) is None
+
+    def test_button_details(self):
+        table = parse_translation_table("<Btn1Down>: set()\n<Btn3Down>: menu()")
+        one = XEvent(xtypes.ButtonPress, None, button=1)
+        three = XEvent(xtypes.ButtonPress, None, button=3)
+        assert table.lookup(one) == [("set", [])]
+        assert table.lookup(three) == [("menu", [])]
+
+    def test_modifiers(self):
+        table = parse_translation_table("Shift<Key>w: shifted()")
+        plain = XEvent(xtypes.KeyPress, None, keycode=198)
+        shifted = XEvent(xtypes.KeyPress, None, keycode=198,
+                         state=xtypes.ShiftMask)
+        assert table.lookup(plain) is None
+        # Shift+w produces keysym W; detail 'w' no longer matches.
+        assert table.lookup(shifted) is None
+        table2 = parse_translation_table("Shift<Key>W: shifted()")
+        assert table2.lookup(shifted) == [("shifted", [])]
+
+    def test_negated_modifier(self):
+        table = parse_translation_table("~Shift<Btn1Down>: plain()")
+        assert table.lookup(XEvent(xtypes.ButtonPress, None, button=1)) == \
+            [("plain", [])]
+        assert table.lookup(XEvent(xtypes.ButtonPress, None, button=1,
+                                   state=xtypes.ShiftMask)) is None
+
+    def test_multiple_actions(self):
+        table = parse_translation_table("<Btn1Up>: notify() unset()")
+        actions = table.lookup(XEvent(xtypes.ButtonRelease, None, button=1))
+        assert actions == [("notify", []), ("unset", [])]
+
+    def test_action_args_with_comma(self):
+        table = parse_translation_table('<Key>: do(one, two)')
+        actions = table.lookup(XEvent(xtypes.KeyPress, None, keycode=198))
+        assert actions == [("do", ["one", "two"])]
+
+    def test_nested_parens_in_exec_arg(self):
+        # The prime-factor demo binds: exec(echo [gV input string])
+        table = parse_translation_table(
+            "<Key>Return: exec(echo [gV input string])")
+        actions = table.lookup(XEvent(xtypes.KeyPress, None, keycode=189))
+        assert actions == [("exec", ["echo [gV input string]"])]
+
+    def test_directive_parsing(self):
+        table = parse_translation_table("#override\n<Key>: a()")
+        assert table.directive == "override"
+
+    def test_unknown_event_raises(self):
+        with pytest.raises(TranslationError):
+            parse_translation_table("<Bogus>: a()")
+
+    def test_missing_colon_raises(self):
+        with pytest.raises(TranslationError):
+            parse_translation_table("<Key>Return newline()")
+
+    def test_first_match_wins(self):
+        table = parse_translation_table(
+            "<Key>Return: special()\n<KeyPress>: general()")
+        ret = XEvent(xtypes.KeyPress, None, keycode=189)
+        other = XEvent(xtypes.KeyPress, None, keycode=198)
+        assert table.lookup(ret) == [("special", [])]
+        assert table.lookup(other) == [("general", [])]
+
+
+class TestTranslationMerging:
+    def base(self):
+        return parse_translation_table("<Btn1Down>: set()\n<Btn1Up>: notify()")
+
+    def test_override_shadows_base(self):
+        new = parse_translation_table("#override\n<Btn1Down>: mine()")
+        merged = merge_tables(self.base(), new)
+        press = XEvent(xtypes.ButtonPress, None, button=1)
+        release = XEvent(xtypes.ButtonRelease, None, button=1)
+        assert merged.lookup(press) == [("mine", [])]
+        assert merged.lookup(release) == [("notify", [])]
+
+    def test_augment_defers_to_base(self):
+        new = parse_translation_table(
+            "#augment\n<Btn1Down>: mine()\n<EnterWindow>: enter()")
+        merged = merge_tables(self.base(), new)
+        press = XEvent(xtypes.ButtonPress, None, button=1)
+        enter = XEvent(xtypes.EnterNotify, None)
+        assert merged.lookup(press) == [("set", [])]
+        assert merged.lookup(enter) == [("enter", [])]
+
+    def test_replace_discards_base(self):
+        new = parse_translation_table("<EnterWindow>: enter()")
+        merged = merge_tables(self.base(), new)
+        press = XEvent(xtypes.ButtonPress, None, button=1)
+        assert merged.lookup(press) is None
