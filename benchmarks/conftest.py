@@ -7,10 +7,52 @@ but each bench asserts the *shape* the paper reports and prints the
 rows it regenerates.
 """
 
+import json
+import os
+import platform
+import time
+
 import pytest
 
 from repro.core import make_wafe
 from repro.xlib import close_all_displays
+
+# ----------------------------------------------------------------------
+# BENCH_tcl_compile.json: the compilation-layer perf artifact.
+#
+# bench_tcl_cost.py records compiled-vs-uncompiled ops/sec and cache
+# hit rates through the ``tcl_compile_record`` fixture; at session end
+# the collected records are written next to this file so CI can upload
+# them and regressions are diffable in review.
+
+_TCL_COMPILE_RECORDS = {}
+
+BENCH_TCL_COMPILE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_tcl_compile.json")
+
+
+@pytest.fixture
+def tcl_compile_record():
+    """Call with (workload_name, payload_dict) to add one record."""
+
+    def record(name, payload):
+        _TCL_COMPILE_RECORDS[name] = payload
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _TCL_COMPILE_RECORDS:
+        return
+    artifact = {
+        "schema": "wafe-tcl-compile-bench/1",
+        "generated_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "workloads": _TCL_COMPILE_RECORDS,
+    }
+    with open(BENCH_TCL_COMPILE_PATH, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 @pytest.fixture

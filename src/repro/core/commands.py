@@ -153,6 +153,8 @@ def cmd_widget_exists(wafe, argv):
 def cmd_sync(wafe, argv):
     """Dispatch everything pending (useful in scripts and tests)."""
     wafe.app.process_pending()
+    if wafe.frontend is not None:
+        wafe.frontend.flush()
     return ""
 
 

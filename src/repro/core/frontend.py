@@ -51,6 +51,13 @@ class Frontend:
         self.passthrough = passthrough  # callable(str) for non-command lines
         self.closed = False
         self.eof_seen = False
+        # Outbound writes are buffered so the many ``echo`` lines one
+        # event can fire coalesce into a single write+flush on the pipe
+        # (flushed at event-loop idle, after each batch of backend
+        # input, or on explicit ``sync``).
+        self._out_buffer = []
+        self._out_buffered_bytes = 0
+        self._flush_work_id = None
         command = self._resolve_command(program, program_args or [])
         # The mass channel exists from the start so getChannel can
         # report a stable fd number to the application.
@@ -113,6 +120,9 @@ class Frontend:
                 self.wafe.run_command_line(line)
             else:
                 self._passthrough(line)
+        # Replies the commands queued go out as one write, promptly --
+        # a backend blocked on readline() must not wait for loop idle.
+        self.flush()
 
     def _passthrough(self, line):
         if self.passthrough is not None:
@@ -132,11 +142,46 @@ class Frontend:
     # ------------------------------------------------------------------
     # Frontend -> application
 
+    # How much outbound data may accumulate before we stop deferring
+    # to loop idle and write through (bounds memory; roughly one pipe
+    # capacity so the write itself stays non-blocking in practice).
+    FLUSH_THRESHOLD = 32768
+
     def send(self, text):
+        """Queue ``text`` for the application; order is preserved.
+
+        The actual write happens in :meth:`flush` -- scheduled as an
+        idle work proc so all the sends fired by one event become a
+        single ``write()`` + ``flush()`` on the pipe.
+        """
+        if self.closed or self.process.stdin is None:
+            return
+        self._out_buffer.append(text)
+        self._out_buffered_bytes += len(text)
+        if self._out_buffered_bytes >= self.FLUSH_THRESHOLD:
+            self.flush()
+        elif self._flush_work_id is None:
+            self._flush_work_id = self.wafe.app.add_work_proc(
+                self._idle_flush)
+
+    def _idle_flush(self):
+        self.flush()
+        return True  # one-shot: the work proc removes itself
+
+    def flush(self):
+        """Write everything queued by :meth:`send` in one system call."""
+        if self._flush_work_id is not None:
+            self.wafe.app.remove_work_proc(self._flush_work_id)
+            self._flush_work_id = None
+        if not self._out_buffer:
+            return
+        data = "".join(self._out_buffer)
+        self._out_buffer = []
+        self._out_buffered_bytes = 0
         if self.closed or self.process.stdin is None:
             return
         try:
-            self.process.stdin.write(text.encode("utf-8", "replace"))
+            self.process.stdin.write(data.encode("utf-8", "replace"))
             self.process.stdin.flush()
         except (BrokenPipeError, OSError, ValueError):
             self._handle_eof()
@@ -172,6 +217,7 @@ class Frontend:
             self.wafe.interp.set_var(
                 state.var_name, payload.decode("utf-8", "replace"))
             self.wafe.run_command_line(state.completion_script)
+            self.flush()
             if leftover:
                 self.mass_state = MassTransferState(
                     state.var_name, len(leftover), "")  # keep remainder
@@ -180,11 +226,13 @@ class Frontend:
     # ------------------------------------------------------------------
 
     def wait(self, timeout=None):
+        self.flush()
         return self.process.wait(timeout=timeout)
 
     def close(self):
         if self.closed:
             return
+        self.flush()
         self.closed = True
         for stream in (self.process.stdin, self.process.stdout):
             try:

@@ -97,6 +97,7 @@ def run_frontend(wafe, program, program_args=None, max_idle=None,
     return frontend
 
 
-def make_wafe(build="athena", display_name=":0", argv=None):
+def make_wafe(build="athena", display_name=":0", argv=None, compile=True):
     """Construct a Wafe instance (one per process in real life)."""
-    return Wafe(build=build, display_name=display_name, argv=argv)
+    return Wafe(build=build, display_name=display_name, argv=argv,
+                compile=compile)

@@ -60,12 +60,14 @@ class Wafe:
     """One frontend instance (one "Wafe binary" in the paper's terms)."""
 
     def __init__(self, build="athena", app_name=None, display_name=":0",
-                 argv=None):
+                 argv=None, compile=True):
         self.build = build
         if app_name is None:
             app_name = "wafe" if build == "athena" else "mofe"
         app_class = "Wafe" if build == "athena" else "Mofe"
-        self.interp = Interp()
+        # ``compile=False`` disables the Tcl compilation layer for A/B
+        # comparison (see docs/PERFORMANCE.md).
+        self.interp = Interp(compile=compile)
         self.app = XtAppContext(app_name, app_class, display_name)
         self.app.widget_destroyed = self._widget_destroyed
         self.classes = _class_table(build)

@@ -18,12 +18,14 @@ Public entry points:
   -- conversion between Python lists and Tcl list syntax.
 """
 
+from repro.tcl.cache import LRUCache
 from repro.tcl.errors import TclError, TclBreak, TclContinue, TclReturn
 from repro.tcl.interp import Interp
 from repro.tcl.lists import list_to_string, string_to_list
 
 __all__ = [
     "Interp",
+    "LRUCache",
     "TclError",
     "TclBreak",
     "TclContinue",

@@ -85,6 +85,28 @@ def cmd_info(interp, argv):
         return list_to_string(frame.argv)
     if option == "cmdcount":
         return str(interp.cmd_count)
+    if option == "cachestats":
+        # ``info cachestats ?reset?``: hit/miss/eviction counters for
+        # the parse, compile, and expr caches (the compilation layer's
+        # introspection hook; the bench harness reads the same numbers
+        # through interp.cache_stats()).
+        if len(argv) == 3 and argv[2] == "reset":
+            interp.reset_cache_stats()
+            return ""
+        if len(argv) != 2:
+            _wrong_args("info cachestats ?reset?")
+        rows = []
+        for cache_name, stats in sorted(interp.cache_stats().items()):
+            rows.append(cache_name)
+            rows.append(list_to_string([
+                "hits", str(stats["hits"]),
+                "misses", str(stats["misses"]),
+                "evictions", str(stats["evictions"]),
+                "size", str(stats["size"]),
+                "maxsize", str(stats["maxsize"]),
+                "hitrate", "%.4f" % stats["hit_rate"],
+            ]))
+        return list_to_string(rows)
     if option == "tclversion":
         return TCL_VERSION
     if option == "patchlevel":
@@ -94,9 +116,9 @@ def cmd_info(interp, argv):
     if option == "script":
         return getattr(interp, "script_name", "")
     raise TclError(
-        'bad option "%s": should be args, body, cmdcount, commands, '
-        "default, exists, globals, level, library, locals, patchlevel, "
-        "procs, script, tclversion, or vars" % option
+        'bad option "%s": should be args, body, cachestats, cmdcount, '
+        "commands, default, exists, globals, level, library, locals, "
+        "patchlevel, procs, script, tclversion, or vars" % option
     )
 
 

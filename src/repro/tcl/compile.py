@@ -1,0 +1,142 @@
+"""Compiled executable forms of parsed Tcl scripts.
+
+The parser produces a substitution-free tree; this module turns that
+tree into the cheapest shape that can still honour Tcl's late-binding
+semantics.  Three observations drive the design:
+
+* Most words in real Wafe scripts are pure literals, so most commands
+  have a fully-literal argv that can be computed **once** at compile
+  time.  Execution then skips word-walking entirely and goes straight
+  to dispatch.
+* Commands are looked up by name **at call time**, never bound at
+  compile time: ``proc`` redefinition, ``rename``, and the ``unknown``
+  fallback must behave identically whether or not a script was cached.
+  A compiled command therefore stores strings, not function objects,
+  and routes through :meth:`Interp.call` like uncompiled evaluation.
+* Mixed words reduce to a small *substitution plan*: a flat tuple of
+  (opcode, payload) steps with dedicated fast opcodes for the two
+  overwhelmingly common shapes, a bare ``$var`` word and a bare
+  ``[cmd]`` word.
+
+A :class:`CompiledScript` is immutable and interpreter-independent, so
+``Interp`` memoises them in a per-interp LRU keyed on the script text
+(``eval`` of a repeated callback string skips parse *and* compile).
+"""
+
+from repro.tcl import parser as _parser
+
+__all__ = ["CompiledScript", "compile_script", "compile_command"]
+
+# Substitution-plan opcodes.
+OP_LITERAL = 0  # payload: the word's final string
+OP_VAR = 1      # payload: variable name (no array index)
+OP_VARIDX = 2   # payload: (name, index_parts)
+OP_CMD = 3      # payload: nested script string
+OP_PARTS = 4    # payload: the word's raw parts (general fallback)
+
+
+class _NoopCommand:
+    """A command whose (literal) first word is empty: evaluates to ""."""
+
+    __slots__ = ()
+
+    def execute(self, interp):
+        return ""
+
+
+_NOOP = _NoopCommand()
+
+
+class _LiteralCommand:
+    """All words literal: argv precomputed once, dispatch per call.
+
+    ``execute`` hands :meth:`Interp.call` a fresh list so a command
+    implementation that mutates its argv cannot corrupt the cache, and
+    the command *name* is re-resolved inside ``call`` on every
+    invocation -- redefinition and ``rename`` take effect immediately
+    even for cached scripts.
+    """
+
+    __slots__ = ("argv",)
+
+    def __init__(self, argv):
+        self.argv = argv  # tuple of str
+
+    def execute(self, interp):
+        return interp.call(list(self.argv))
+
+
+class _DynamicCommand:
+    """At least one word needs substitution: run the precomputed plan."""
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan):
+        self.plan = plan  # tuple of (opcode, payload)
+
+    def execute(self, interp):
+        argv = []
+        append = argv.append
+        for op, payload in self.plan:
+            if op == OP_LITERAL:
+                append(payload)
+            elif op == OP_VAR:
+                append(interp.get_var(payload))
+            elif op == OP_CMD:
+                append(interp.eval(payload))
+            elif op == OP_VARIDX:
+                name, index_parts = payload
+                append(interp.get_var(
+                    name, interp._substitute_parts(index_parts)))
+            else:
+                append(interp._substitute_parts(payload))
+        if argv[0] == "":
+            return ""
+        return interp.call(argv)
+
+
+class CompiledScript:
+    """An executable sequence of compiled commands."""
+
+    __slots__ = ("commands",)
+
+    def __init__(self, commands):
+        self.commands = commands
+
+    def execute(self, interp):
+        result = ""
+        for command in self.commands:
+            result = command.execute(interp)
+        return result
+
+
+def _compile_word(word):
+    """One plan step for a parsed word."""
+    parts = word.parts
+    if len(parts) == 1:
+        kind, payload = parts[0]
+        if kind == _parser.LITERAL:
+            return (OP_LITERAL, payload)
+        if kind == _parser.VARSUB:
+            name, index_parts = payload
+            if index_parts is None:
+                return (OP_VAR, name)
+            return (OP_VARIDX, payload)
+        return (OP_CMD, payload)
+    return (OP_PARTS, parts)
+
+
+def compile_command(parsed):
+    """Compile one :class:`~repro.tcl.parser.ParsedCommand`."""
+    plan = tuple(_compile_word(word) for word in parsed.words)
+    if all(op == OP_LITERAL for op, __ in plan):
+        argv = tuple(payload for __, payload in plan)
+        if argv[0] == "":
+            return _NOOP
+        return _LiteralCommand(argv)
+    return _DynamicCommand(plan)
+
+
+def compile_script(parsed_commands):
+    """Compile a parsed script (list of commands) to executable form."""
+    return CompiledScript([compile_command(cmd) for cmd in parsed_commands])

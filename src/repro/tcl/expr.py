@@ -19,6 +19,7 @@ modern ``tcl_precision`` default), plain decimal for integers.
 
 import math
 
+from repro.tcl.cache import LRUCache
 from repro.tcl.errors import TclError
 from repro.tcl.parser import backslash_char, parse_varsub, VARSUB
 
@@ -576,8 +577,38 @@ def _compare(left, right):
     return 0
 
 
-def eval_expr(text, env):
-    """Evaluate an expression string; returns a Python int/float/str."""
-    lexer = _Lexer(text)
-    ast = _Parser(lexer).parse()
+# ----------------------------------------------------------------------
+# AST cache
+#
+# Wafe re-evaluates the same expression strings on every event: loop
+# conditions (`while {$i < $n}`), `if` tests in callbacks, translation
+# actions.  The AST is immutable and environment-independent (variable
+# and command references are deferred leaves resolved per evaluation),
+# so a single module-level LRU keyed by the expression text is shared
+# by every interpreter in the process.  Parse errors are *not* cached:
+# they are rare, and caching exceptions would complicate eviction for
+# no measurable win.
+
+ast_cache = LRUCache(maxsize=1024)
+
+
+def compile_expr(text, use_cache=True):
+    """Parse an expression to its AST, memoised on the expression text."""
+    if use_cache:
+        ast = ast_cache.get(text)
+        if ast is not None:
+            return ast
+    ast = _Parser(_Lexer(text)).parse()
+    if use_cache:
+        ast_cache.put(text, ast)
+    return ast
+
+
+def eval_compiled_expr(ast, env):
+    """Walk an AST from :func:`compile_expr` against ``env``."""
     return _Evaluator(env).eval(ast)
+
+
+def eval_expr(text, env, use_cache=True):
+    """Evaluate an expression string; returns a Python int/float/str."""
+    return _Evaluator(env).eval(compile_expr(text, use_cache))

@@ -9,9 +9,19 @@ associative arrays, or upvar links into another frame.
 
 import time as _time
 
+from repro.tcl import compile as _compile
 from repro.tcl import parser as _parser
+from repro.tcl.cache import LRUCache
 from repro.tcl.errors import TclBreak, TclContinue, TclError, TclReturn
-from repro.tcl.expr import eval_expr, format_number
+from repro.tcl.expr import (
+    ast_cache as _expr_ast_cache,
+    compile_expr,
+    eval_compiled_expr,
+    eval_expr,
+    format_number,
+    is_true,
+)
+from repro.tcl.lists import quote_element
 
 _SCALAR = 0
 _ARRAY = 1
@@ -95,11 +105,16 @@ class Interp:
     by calling :meth:`register`.
     """
 
-    def __init__(self, register_builtins=True):
+    def __init__(self, register_builtins=True, compile=True):
         self.commands = {}
         self.procs = {}
         self.frames = [CallFrame(0)]
         self.parse_cache = _parser.ParseCache()
+        # ``compile=False`` is the A/B escape hatch: evaluation falls
+        # back to per-eval word substitution and uncached expr parsing,
+        # which is the reference semantics the compiled path must match.
+        self.compile_enabled = bool(compile)
+        self.compile_cache = LRUCache(maxsize=512)
         self._expr_env = _ExprEnv(self)
         self.cmd_count = 0
         self.max_nesting = 120
@@ -276,8 +291,6 @@ class Interp:
                 continue
             trace.active = True
             try:
-                from repro.tcl.lists import quote_element
-
                 self.eval("%s %s %s %s" % (
                     trace.command, quote_element(name),
                     quote_element(index if index is not None else ""), op))
@@ -397,6 +410,22 @@ class Interp:
     def substitute_word(self, word):
         return self._substitute_parts(word.parts)
 
+    def compile_script(self, script):
+        """The memoised ``script -> CompiledScript`` used by ``eval``.
+
+        Loop commands hoist this out of their iteration (the returned
+        object is immutable and resolves command names at call time, so
+        holding on to it cannot observe stale ``proc``/``rename``
+        state).  Only meaningful with compilation enabled.
+        """
+        compiled = self.compile_cache.get(script)
+        if compiled is None:
+            compiled = self.compile_cache.put(
+                script,
+                _compile.compile_script(self.parse_cache.get(script)),
+            )
+        return compiled
+
     def eval(self, script):
         """Evaluate a script string, returning its result string."""
         self._nesting += 1
@@ -406,6 +435,8 @@ class Interp:
                 "too many nested calls to Tcl_Eval (infinite loop?)"
             )
         try:
+            if self.compile_enabled:
+                return self.compile_script(script).execute(self)
             result = ""
             for command in self.parse_cache.get(script):
                 result = self._invoke(command)
@@ -423,6 +454,50 @@ class Interp:
             raise
         finally:
             self._nesting -= 1
+
+    def eval_compiled(self, compiled):
+        """``eval`` for an already-compiled script (same guard rails)."""
+        self._nesting += 1
+        if self._nesting > self.max_nesting:
+            self._nesting -= 1
+            raise TclError(
+                "too many nested calls to Tcl_Eval (infinite loop?)"
+            )
+        try:
+            return compiled.execute(self)
+        except RecursionError:
+            raise TclError("too many nested calls to Tcl_Eval (infinite loop?)")
+        except TclReturn as ret:
+            if self._nesting == 1:
+                return ret.result
+            raise
+        except (TclBreak, TclContinue) as exc:
+            if self._nesting == 1:
+                raise TclError(str(exc))
+            raise
+        finally:
+            self._nesting -= 1
+
+    def script_evaluator(self, script):
+        """A zero-argument callable evaluating ``script`` each call.
+
+        The loop-body analogue of :meth:`compile_expr_truth`: with
+        compilation on, the body is compiled on the *first* call (a
+        loop that never runs must not surface a body parse error,
+        matching uncompiled evaluation) and later calls skip straight
+        to the compiled form; with compilation off, each call is a
+        plain ``eval``.
+        """
+        if not self.compile_enabled:
+            return lambda: self.eval(script)
+        memo = []
+
+        def run():
+            if not memo:
+                memo.append(self.compile_script(script))
+            return self.eval_compiled(memo[0])
+
+        return run
 
     def _invoke(self, parsed):
         argv = [self.substitute_word(w) for w in parsed.words]
@@ -452,13 +527,13 @@ class Interp:
 
     def eval_expr_string(self, text):
         """Evaluate an expr string to its Tcl string result."""
-        return format_number(eval_expr(text, self._expr_env))
+        return format_number(
+            eval_expr(text, self._expr_env, use_cache=self.compile_enabled))
 
     def eval_expr_truth(self, text):
-        from repro.tcl.expr import is_true
-
         try:
-            value = eval_expr(text, self._expr_env)
+            value = eval_expr(text, self._expr_env,
+                              use_cache=self.compile_enabled)
         except TclError:
             # Bare boolean words ("yes", "off", ...) are not expr syntax
             # but Tcl_ExprBoolean accepts them; mirror that.
@@ -469,6 +544,63 @@ class Interp:
         if isinstance(value, str):
             return is_true(value)
         return value != 0
+
+    def compile_expr_truth(self, text):
+        """A zero-argument truth test for ``text``, parse hoisted out.
+
+        ``while`` and ``for`` evaluate the same condition on every
+        iteration; this compiles the expression AST once and returns a
+        closure that only walks it.  Falls back to the per-call path
+        (identical semantics, including the bare-boolean-word fallback)
+        when the text does not parse or compilation is disabled.
+        """
+        if not self.compile_enabled:
+            return lambda: self.eval_expr_truth(text)
+        try:
+            ast = compile_expr(text)
+        except TclError:
+            return lambda: self.eval_expr_truth(text)
+        env = self._expr_env
+
+        def truth():
+            try:
+                value = eval_compiled_expr(ast, env)
+            except TclError:
+                stripped = text.strip()
+                if stripped and all(c.isalnum() for c in stripped):
+                    return is_true(stripped)
+                raise
+            if isinstance(value, str):
+                return is_true(value)
+            return value != 0
+
+        return truth
+
+    # ------------------------------------------------------------------
+    # Cache introspection (``info cachestats``)
+
+    def cache_stats(self):
+        """Hit/miss/eviction counters for every evaluation cache.
+
+        ``parse`` and ``compile`` are per-interpreter; ``expr`` is the
+        process-wide AST cache shared by all interpreters.
+        """
+        return {
+            "parse": self.parse_cache.stats(),
+            "compile": self.compile_cache.stats(),
+            "expr": _expr_ast_cache.stats(),
+        }
+
+    def reset_cache_stats(self):
+        self.parse_cache.reset_stats()
+        self.compile_cache.reset_stats()
+        _expr_ast_cache.reset_stats()
+
+    def clear_caches(self):
+        """Drop all cached parses/compiles (the expr cache is global)."""
+        self.parse_cache.clear()
+        self.compile_cache.clear()
+        _expr_ast_cache.clear()
 
     # ------------------------------------------------------------------
     # Procedures

@@ -15,6 +15,7 @@ matters for Wafe where callbacks are Tcl strings evaluated on every
 event.
 """
 
+from repro.tcl.cache import LRUCache
 from repro.tcl.errors import TclError
 
 # Part kinds.  A word is a list of (kind, payload) tuples.
@@ -416,24 +417,40 @@ def _parse_bare_word(script, pos):
 
 
 class ParseCache:
-    """A bounded memo of ``script -> parsed commands``.
+    """A bounded LRU memo of ``script -> parsed commands``.
 
     Wafe evaluates the same callback strings over and over; caching the
-    parse avoids re-tokenising on every button press.
+    parse avoids re-tokenising on every button press.  Eviction is true
+    least-recently-used (a hit refreshes recency, an insert past the
+    bound drops the oldest entry), so steady-state workloads with more
+    than ``maxsize`` distinct scripts degrade gracefully instead of
+    losing the whole cache at once.
     """
 
     def __init__(self, maxsize=512):
-        self.maxsize = maxsize
-        self._cache = {}
+        self._cache = LRUCache(maxsize)
+
+    @property
+    def maxsize(self):
+        return self._cache.maxsize
 
     def get(self, script):
         parsed = self._cache.get(script)
         if parsed is None:
-            parsed = parse_script(script)
-            if len(self._cache) >= self.maxsize:
-                self._cache.clear()
-            self._cache[script] = parsed
+            parsed = self._cache.put(script, parse_script(script))
         return parsed
+
+    def __len__(self):
+        return len(self._cache)
+
+    def __contains__(self, script):
+        return script in self._cache
 
     def clear(self):
         self._cache.clear()
+
+    def reset_stats(self):
+        self._cache.reset_stats()
+
+    def stats(self):
+        return self._cache.stats()
