@@ -21,6 +21,7 @@ from repro.codegen.specparser import (
     creation_command_for,
     parse_spec,
 )
+from repro.codegen.registry import SpecRegistry, registry_for
 
 SPEC_DIR = os.path.join(os.path.dirname(__file__), "specs")
 

@@ -158,6 +158,7 @@ def _parse_block(lines, lineno, source, doc):
         if len(body) < 2:
             raise SpecError("%s:%d: ~widgetClass needs a class name"
                             % (source, lineno))
+        _check_command_name(body[1], source, lineno)
         return WidgetClassSpec(body[1], include, lineno)
     if len(body) < 2:
         raise SpecError("%s:%d: function block needs a return type and name"
@@ -167,6 +168,7 @@ def _parse_block(lines, lineno, source, doc):
         raise SpecError("%s:%d: unknown return type %r"
                         % (source, lineno, return_type))
     c_name = body[1]
+    _check_command_name(c_name, source, lineno)
     arguments = []
     for line in body[2:]:
         if ":" not in line:
@@ -197,3 +199,13 @@ def _parse_block(lines, lineno, source, doc):
             raise SpecError("%s:%d: bad direction %r"
                             % (source, lineno, direction))
     return FunctionSpec(return_type, c_name, arguments, include, lineno, doc)
+
+
+def _check_command_name(c_name, source, lineno):
+    """Fail at parse time, with the spec position, when a block's name
+    cannot be turned into a command name (the emitter would otherwise
+    raise the same error with no hint of where it came from)."""
+    try:
+        command_name_for(c_name)
+    except SpecError as err:
+        raise SpecError("%s:%d: %s" % (source, lineno, err)) from None

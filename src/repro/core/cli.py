@@ -9,6 +9,10 @@ program.  The mode is chosen the way the paper describes:
 * ``--f script`` (the ``#!`` magic)      -> file mode
 * ``--app program``                      -> frontend mode
 * otherwise                              -> interactive mode
+
+``--lint`` (file mode only) statically analyzes the script with
+wafelint before running it; diagnostics are advisory and go to the
+error channel.  ``python -m repro.lint`` runs the analyzer standalone.
 """
 
 import sys
@@ -40,7 +44,7 @@ def split_arguments(argv):
                     raise SystemExit("wafe: option %s needs a value" % arg)
                 frontend[key] = argv[i + 1]
                 i += 2
-            elif key in ("interactive", "version", "help"):
+            elif key in ("interactive", "version", "help", "lint"):
                 frontend[key] = True
                 i += 1
             else:
@@ -86,14 +90,14 @@ def _main(build, argv=None):
     backend = options.get("app") or backend_for_invocation(invoked_as)
     if options.get("f"):
         script = options["f"]
-        run_file(wafe, script)
+        run_file(wafe, script, lint=options.get("lint", False))
         return 0
     if backend:
         run_frontend(wafe, backend, app_args)
         return 0
     if app_args and not options.get("interactive"):
         # A bare script path also selects file mode.
-        run_file(wafe, app_args[0])
+        run_file(wafe, app_args[0], lint=options.get("lint", False))
         return 0
     session = InteractiveSession(wafe)
     session.run()

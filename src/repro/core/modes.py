@@ -15,18 +15,40 @@ from repro.core.frontend import Frontend
 from repro.core.wafe import Wafe
 
 
-def run_file(wafe, path, main_loop=True, max_idle=None):
-    """File mode: execute a script, then enter the main loop."""
+def run_file(wafe, path, main_loop=True, max_idle=None, lint=False):
+    """File mode: execute a script, then enter the main loop.
+
+    With ``lint`` true the script is statically analyzed first
+    (advisory: diagnostics go through the frontend's error channel,
+    then the script runs regardless -- the analyzer never executes
+    anything, so this adds no side effects).
+    """
     with open(path, "r") as handle:
         script = handle.read()
     if script.startswith("#!"):
+        # Blank out the interpreter line but keep its newline so error
+        # positions (TclError line/col) still match the file on disk.
         newline = script.find("\n")
-        script = script[newline + 1 :] if newline >= 0 else ""
+        script = script[newline:] if newline >= 0 else ""
+    if lint:
+        _report_lint(wafe, path, script)
     wafe.interp.script_name = path
     wafe.run_script(script)
     if main_loop and not wafe.quit_requested:
         wafe.main_loop(until=lambda: wafe.quit_requested, max_idle=max_idle)
     return wafe
+
+
+def _report_lint(wafe, path, script):
+    """Run wafelint over a file-mode script against this instance's
+    build, accepting everything actually in the live command table."""
+    from repro.lint import check
+
+    diagnostics = check(script, filename=path, build=wafe.build,
+                        extra_commands=wafe.interp.commands)
+    for diagnostic in diagnostics:
+        wafe.report_error("lint: %s" % diagnostic.format())
+    return diagnostics
 
 
 def run_string(wafe, script, main_loop=False, max_idle=None):

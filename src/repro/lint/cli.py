@@ -1,0 +1,105 @@
+"""The wafelint command line: ``python -m repro.lint file...``.
+
+Files are linted according to their extension (``.tcl``/``.wafe``
+whole, ``.py`` via embedded ``run_script`` literals, ``.md`` via
+fenced ``tcl`` blocks); directories are walked recursively.  The exit
+status is the contract CI keys on: 0 when clean or warnings only, 1
+when any error-severity diagnostic was found, 2 when a file could not
+be read or parsed at all.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.lint.analyzer import Analyzer
+from repro.lint.diagnostics import ERROR
+from repro.lint.extract import extract_chunks
+from repro.lint.knowledge import knowledge_for
+
+#: Extensions picked up when walking a directory.
+LINTABLE_EXTENSIONS = (".py", ".md", ".markdown", ".tcl", ".wafe")
+
+
+def iter_files(paths):
+    """Expand the path arguments: files as given, directories walked
+    (sorted, hidden subdirectories skipped)."""
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    name for name in dirs if not name.startswith("."))
+                for name in sorted(files):
+                    if name.endswith(LINTABLE_EXTENSIONS):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def lint_file(path, knowledge, extra_commands=()):
+    """All diagnostics for one file.  Chunks extracted from the file
+    share one analyzer so a proc defined in an early ``run_script``
+    call is known in a later one."""
+    with open(path, "r") as handle:
+        source = handle.read()
+    chunks, harvested = extract_chunks(path, source)
+    analyzer = Analyzer(knowledge, filename=path,
+                        extra_commands=set(extra_commands) | harvested)
+    for chunk in chunks:
+        analyzer.collect(chunk.text, chunk.line, chunk.col)
+    for chunk in chunks:
+        analyzer.analyze(chunk.text, chunk.line, chunk.col)
+    return analyzer.diagnostics()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="wafelint: static analysis for Wafe/Tcl scripts")
+    parser.add_argument("paths", nargs="+", metavar="file",
+                        help="script, Python, or Markdown file; "
+                        "directories are walked recursively")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--build", choices=("athena", "motif", "both"),
+                        default="athena",
+                        help="command surface to check against")
+    parser.add_argument("--extra-commands", default="", metavar="NAMES",
+                        help="comma-separated application-registered "
+                        "command names to accept")
+    args = parser.parse_args(argv)
+
+    extra = tuple(name for name in args.extra_commands.split(",") if name)
+    knowledge = knowledge_for(args.build)
+    diagnostics = []
+    status = 0
+    files = 0
+    for path in iter_files(args.paths):
+        files += 1
+        try:
+            diagnostics.extend(lint_file(path, knowledge, extra))
+        except OSError as err:
+            print("%s: %s" % (path, err.strerror or err), file=sys.stderr)
+            status = 2
+        except SyntaxError as err:
+            print("%s:%s: cannot parse Python source: %s"
+                  % (path, err.lineno or 0, err.msg), file=sys.stderr)
+            status = 2
+
+    errors = sum(1 for d in diagnostics if d.severity == ERROR)
+    if args.format == "json":
+        json.dump([d.as_dict() for d in diagnostics], sys.stdout,
+                  indent=2)
+        sys.stdout.write("\n")
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        print("%d file%s checked: %d error%s, %d warning%s"
+              % (files, "" if files == 1 else "s",
+                 errors, "" if errors == 1 else "s",
+                 len(diagnostics) - errors,
+                 "" if len(diagnostics) - errors == 1 else "s"))
+    if errors:
+        status = max(status, 1)
+    return status

@@ -1,0 +1,81 @@
+"""Diagnostic objects and the rule table.
+
+A diagnostic pins a rule code to an exact ``file:line:col`` position.
+Rule codes are stable identifiers (tests, CI filters, and editor
+integrations key on them); the human-readable message may evolve.
+"""
+
+ERROR = "error"
+WARNING = "warning"
+
+#: code -> (slug, default severity, one-line description).
+RULES = {
+    "W001": ("unknown-command",
+             "command is neither a builtin, a generated toolkit command, "
+             "a proc defined in the script, nor application-registered"),
+    "W002": ("arity-mismatch",
+             "wrong number of arguments for a proc or spec-defined "
+             "command"),
+    "W003": ("unknown-resource",
+             "widget resource name not present in the widget class's "
+             "resource table"),
+    "W004": ("invalid-percent-code",
+             "percent code invalid for the event type (the paper's "
+             "action-code matrix) or unknown"),
+    "W005": ("percent-context-mismatch",
+             "callback-only percent code in action position, or "
+             "action-only code in callback position"),
+    "W006": ("unbalanced-delimiter",
+             "missing close brace/bracket/quote or extra characters "
+             "after one"),
+    "W007": ("bad-translation",
+             "malformed translation table, unknown event type, or "
+             "unknown action name"),
+    "W008": ("suspicious-set",
+             "`set` with three or more arguments (missing quoting?)"),
+    "W009": ("unbraced-expr",
+             "expr/condition with unbraced $-substitution (double "
+             "substitution; defeats expression compilation)"),
+    "W010": ("unreachable-code",
+             "command can never run (follows return/break/continue/"
+             "error in the same block)"),
+}
+
+
+class Diagnostic:
+    """One finding: rule code, severity, message, exact position."""
+
+    __slots__ = ("code", "severity", "message", "file", "line", "col")
+
+    def __init__(self, code, message, file="<script>", line=1, col=1,
+                 severity=None):
+        self.code = code
+        self.severity = severity if severity is not None else ERROR
+        self.message = message
+        self.file = file
+        self.line = line
+        self.col = col
+
+    @property
+    def rule_name(self):
+        return RULES[self.code][0]
+
+    def format(self):
+        """``file:line:col: severity: message [Wnnn rule-name]``"""
+        return "%s:%d:%d: %s: %s [%s %s]" % (
+            self.file, self.line, self.col, self.severity, self.message,
+            self.code, self.rule_name)
+
+    def as_dict(self):
+        return {
+            "code": self.code,
+            "rule": self.rule_name,
+            "severity": self.severity,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "Diagnostic(%s)" % self.format()

@@ -1,0 +1,141 @@
+"""Finding Wafe scripts inside other files.
+
+Wafe scripts rarely live alone: the examples embed them in Python
+string literals passed to ``run_script``, and the docs quote them in
+fenced code blocks.  This module pulls those scripts out *with their
+file positions* so diagnostics point into the real file, and harvests
+``register_command`` calls so application-registered commands are not
+reported as unknown.
+
+Python extraction is purely syntactic (:mod:`ast`): plain string
+literals are taken as-is; ``"..." % args`` templates are taken from the
+literal left operand with every format spec overwritten by ``0`` of the
+same length (positions stay exact, and a ``%s`` placeholder never
+collides with Wafe's percent codes); f-string literal parts are joined
+with ``0`` standing in for interpolations.
+"""
+
+import ast
+import re
+
+#: Methods whose first string argument is a Wafe/Tcl script.
+SCRIPT_CALLS = frozenset(("run_script", "run_string", "run_command_line"))
+
+#: Methods whose first string argument names an application command.
+REGISTER_CALLS = frozenset(("register_command", "register"))
+
+#: Markdown fence languages treated as Wafe script.
+FENCE_LANGUAGES = frozenset(("tcl", "wafe"))
+
+_FORMAT_SPEC = re.compile(
+    r"%(?:\([^)]*\))?[-#0 +]*(?:\d+|\*)?(?:\.(?:\d+|\*))?"
+    r"[diouxXeEfFgGcrsa%]")
+
+
+class Chunk:
+    """One extracted script with its base position in the host file."""
+
+    __slots__ = ("text", "line", "col")
+
+    def __init__(self, text, line=1, col=1):
+        self.text = text
+        self.line = line
+        self.col = col
+
+
+def _neutralize_format(template):
+    """Overwrite Python %-format specs with same-length ``0`` runs so
+    they cannot be mistaken for Wafe percent codes and positions of
+    everything else stay exact."""
+    return _FORMAT_SPEC.sub(lambda m: "0" * len(m.group(0)), template)
+
+
+def _string_argument(node):
+    """(text, approximate) for an argument node carrying a script, or
+    (None, False) when it is not statically known."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value, False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod) \
+            and isinstance(node.left, ast.Constant) \
+            and isinstance(node.left.value, str):
+        return _neutralize_format(node.left.value), False
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            else:
+                parts.append("0")
+        return "".join(parts), True
+    return None, False
+
+
+def _call_name(node):
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def extract_python(source):
+    """(chunks, extra_commands) from Python source.
+
+    Chunks are anchored at the string literal's position (the content
+    begins after the opening quote, so columns inside the first line
+    are offset by the quote; lines are exact for single-line literals
+    and for subsequent physical lines of multi-line literals only when
+    the literal is triple-quoted without escapes -- close enough to
+    land the reader on the right call).
+    """
+    tree = ast.parse(source)
+    chunks = []
+    extra = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name in SCRIPT_CALLS and node.args:
+            arg = node.args[0]
+            text, __ = _string_argument(arg)
+            if text is not None:
+                chunks.append(Chunk(text, arg.lineno, arg.col_offset + 2))
+        elif name in REGISTER_CALLS and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                extra.add(arg.value)
+    return chunks, extra
+
+
+_FENCE = re.compile(r"^\s*```\s*(\w*)\s*$")
+
+
+def extract_markdown(source):
+    """Chunks for every \\```tcl / \\```wafe fenced block."""
+    chunks = []
+    fence_language = None
+    block = []
+    block_line = 0
+    for lineno, line in enumerate(source.splitlines(), 1):
+        match = _FENCE.match(line)
+        if fence_language is None:
+            if match and match.group(1).lower() in FENCE_LANGUAGES:
+                fence_language = match.group(1).lower()
+                block = []
+                block_line = lineno + 1
+        elif match and not match.group(1):
+            chunks.append(Chunk("\n".join(block) + "\n", block_line, 1))
+            fence_language = None
+        else:
+            block.append(line)
+    return chunks
+
+
+def extract_chunks(path, source):
+    """(chunks, extra_commands) for a file, dispatched on extension."""
+    if path.endswith(".py"):
+        return extract_python(source)
+    if path.endswith((".md", ".markdown")):
+        return extract_markdown(source), set()
+    return [Chunk(source)], set()

@@ -18,15 +18,21 @@ class TclError(TclException):
 
     ``result`` is the interpreter result string (the error message);
     ``errorinfo`` accumulates the Tcl stack trace like the ``errorInfo``
-    global variable in real Tcl.
+    global variable in real Tcl.  Parse errors additionally carry the
+    1-based ``line``/``col`` of the offending character in the string
+    that was being parsed (None for non-parse errors), so tooling --
+    the linter, file mode -- can point at the exact position instead of
+    just quoting the command.
     """
 
     code = 1
 
-    def __init__(self, result, errorinfo=None):
+    def __init__(self, result, errorinfo=None, line=None, col=None):
         super().__init__(result)
         self.result = result
         self.errorinfo = errorinfo if errorinfo is not None else result
+        self.line = line
+        self.col = col
 
 
 class TclReturn(TclException):

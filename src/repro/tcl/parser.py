@@ -25,13 +25,22 @@ CMDSUB = "cmd"  # payload: script string
 
 
 class Word:
-    """One parsed word: an ordered list of parts plus quoting info."""
+    """One parsed word: an ordered list of parts plus quoting info.
 
-    __slots__ = ("parts", "braced")
+    ``pos`` is the absolute character offset of the word's first
+    character in the script string handed to :func:`parse_script`
+    (the opening brace/quote for braced/quoted words).  Combined with
+    :func:`line_col` it gives exact source positions to error messages
+    and the static analyzer without any per-character bookkeeping in
+    the hot parsing loops.
+    """
 
-    def __init__(self, parts, braced=False):
+    __slots__ = ("parts", "braced", "pos")
+
+    def __init__(self, parts, braced=False, pos=0):
         self.parts = parts
         self.braced = braced
+        self.pos = pos
 
     def is_literal(self):
         return len(self.parts) == 1 and self.parts[0][0] == LITERAL
@@ -41,6 +50,28 @@ class Word:
 
     def __repr__(self):  # pragma: no cover - debugging aid
         return "Word(%r, braced=%r)" % (self.parts, self.braced)
+
+
+def line_col(script, pos):
+    """The 1-based (line, column) of character offset ``pos``.
+
+    Computed on demand -- parsing only records integer offsets, so the
+    common case (no error, no lint) never pays for line accounting.
+    """
+    if pos < 0:
+        pos = 0
+    if pos > len(script):
+        pos = len(script)
+    line = script.count("\n", 0, pos) + 1
+    last_nl = script.rfind("\n", 0, pos)
+    return line, pos - last_nl
+
+
+def _parse_error(message, script, pos):
+    """Raise a TclError pointing at ``pos`` in ``script``."""
+    line, col = line_col(script, pos)
+    raise TclError("%s (line %d column %d)" % (message, line, col),
+                   line=line, col=col)
 
 
 _ESCAPES = {
@@ -121,7 +152,7 @@ def _find_matching_bracket(script, pos):
             i = _skip_quotes(script, i)
             continue
         i += 1
-    raise TclError('missing close-bracket')
+    _parse_error("missing close-bracket", script, pos)
 
 
 def _skip_braces(script, pos):
@@ -141,7 +172,7 @@ def _skip_braces(script, pos):
             if depth == 0:
                 return i + 1
         i += 1
-    raise TclError("missing close-brace")
+    _parse_error("missing close-brace", script, pos)
 
 
 def _skip_quotes(script, pos):
@@ -156,7 +187,7 @@ def _skip_quotes(script, pos):
         if ch == '"':
             return i + 1
         i += 1
-    raise TclError('missing "')
+    _parse_error('missing "', script, pos)
 
 
 def parse_varsub(script, pos):
@@ -173,7 +204,8 @@ def parse_varsub(script, pos):
     if script[i] == "{":
         end = script.find("}", i + 1)
         if end < 0:
-            raise TclError("missing close-brace for variable name")
+            _parse_error("missing close-brace for variable name",
+                         script, pos)
         return (VARSUB, (script[i + 1 : end], None)), end + 1
     start = i
     while i < n and script[i] in _VARNAME_CHARS:
@@ -198,26 +230,27 @@ def parse_varsub(script, pos):
                     break
             j += 1
         if j >= n:
-            raise TclError("missing )")
-        index_src = script[i + 1 : j]
-        index_parts = _parse_part_string(index_src)
+            _parse_error("missing )", script, i)
+        index_parts = _parse_part_string(script, i + 1, j)
         return (VARSUB, (name, index_parts)), j + 1
     return (VARSUB, (name, None)), i
 
 
-def _parse_part_string(text):
-    """Parse a raw string (e.g. an array index) into substitution parts."""
+def _parse_part_string(script, start, stop):
+    """Parse a region of ``script`` (e.g. an array index) into
+    substitution parts.  Operating on the full string with bounds --
+    rather than on a slice -- keeps every position absolute, so parse
+    errors from nested constructs point at the real source location."""
     parts = []
     buf = []
-    i = 0
-    n = len(text)
-    while i < n:
-        ch = text[i]
+    i = start
+    while i < stop:
+        ch = script[i]
         if ch == "\\":
-            out, i = backslash_char(text, i)
+            out, i = backslash_char(script, i)
             buf.append(out)
         elif ch == "$":
-            part, nxt = parse_varsub(text, i)
+            part, nxt = parse_varsub(script, i)
             if part is None:
                 buf.append("$")
                 i = nxt
@@ -228,11 +261,11 @@ def _parse_part_string(text):
                 parts.append(part)
                 i = nxt
         elif ch == "[":
-            end = _find_matching_bracket(text, i)
+            end = _find_matching_bracket(script, i)
             if buf:
                 parts.append((LITERAL, "".join(buf)))
                 buf = []
-            parts.append((CMDSUB, text[i + 1 : end]))
+            parts.append((CMDSUB, script[i + 1 : end]))
             i = end + 1
         else:
             buf.append(ch)
@@ -266,12 +299,17 @@ def _strip_brace_body(body):
 
 
 class ParsedCommand:
-    """One command: a sequence of :class:`Word` objects."""
+    """One command: a sequence of :class:`Word` objects.
 
-    __slots__ = ("words",)
+    ``pos`` is the absolute offset of the command's first word in the
+    parsed script (0 for an empty command).
+    """
 
-    def __init__(self, words):
+    __slots__ = ("words", "pos")
+
+    def __init__(self, words, pos=0):
         self.words = words
+        self.pos = pos
 
 
 def parse_script(script):
@@ -307,6 +345,7 @@ def _parse_command(script, pos):
         return None, pos
 
     words = []
+    start = pos
     while pos < n:
         ch = script[pos]
         if ch in "\n;":
@@ -320,7 +359,7 @@ def _parse_command(script, pos):
             continue
         word, pos = _parse_word(script, pos)
         words.append(word)
-    return ParsedCommand(words), pos
+    return ParsedCommand(words, start), pos
 
 
 def _parse_word(script, pos):
@@ -329,14 +368,14 @@ def _parse_word(script, pos):
         end = _skip_braces(script, pos)
         body = _strip_brace_body(script[pos + 1 : end - 1])
         if end < len(script) and script[end] not in " \t\n;":
-            raise TclError("extra characters after close-brace")
-        return Word([(LITERAL, body)], braced=True), end
+            _parse_error("extra characters after close-brace", script, end)
+        return Word([(LITERAL, body)], braced=True, pos=pos), end
     if ch == '"':
         end = _skip_quotes(script, pos)
         parts = _parse_part_string_quoted(script, pos + 1, end - 1)
         if end < len(script) and script[end] not in " \t\n;":
-            raise TclError('extra characters after close-quote')
-        return Word(parts), end
+            _parse_error("extra characters after close-quote", script, end)
+        return Word(parts, pos=pos), end
     return _parse_bare_word(script, pos)
 
 
@@ -413,7 +452,7 @@ def _parse_bare_word(script, pos):
             i += 1
     if buf or not parts:
         parts.append((LITERAL, "".join(buf)))
-    return Word(parts), i
+    return Word(parts, pos=pos), i
 
 
 class ParseCache:

@@ -90,6 +90,28 @@ class TestSpecParsing:
         with pytest.raises(SpecError, match="unknown return type"):
             parse_spec("quux\nFoo\nin: Widget\n")
 
+    def test_every_spec_error_carries_file_and_line(self):
+        # filename:lineno: so a bad spec line is findable in an editor.
+        bad_blocks = [
+            ("void\nXt\nin: Widget\n", 1),          # underivable name
+            ("~widgetClass\n", 1),                   # missing class name
+            ("void\nFoo\nin: Quux\n", 1),            # unknown in type
+            ("quux\nFoo\n", 1),                      # unknown return type
+            ("void\nFoo\nbroken line\n", 1),         # bad argument line
+            ("void\nFoo\nout: Struct\n", 1),         # missing fields
+            ("void\nFoo\nsideways: Widget\n", 1),    # bad direction
+        ]
+        for text, lineno in bad_blocks:
+            with pytest.raises(SpecError) as exc:
+                parse_spec(text, source="bad.spec")
+            assert str(exc.value).startswith("bad.spec:%d:" % lineno), \
+                (text, str(exc.value))
+
+    def test_spec_error_line_points_at_the_block(self):
+        text = "void\nFoo\nin: Widget\n\n\nvoid\nXt\n"
+        with pytest.raises(SpecError, match=r"^bad\.spec:6:"):
+            parse_spec(text, source="bad.spec")
+
 
 class TestEmission:
     def test_generated_module_compiles(self):

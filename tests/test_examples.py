@@ -7,6 +7,16 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+
+def _env():
+    """Subprocesses run from tmp_path, so a relative PYTHONPATH from
+    the invoking shell would not resolve; pin the absolute src dir."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
 
 EXAMPLES = [
     "quickstart.py",
@@ -30,6 +40,7 @@ def test_example_runs(example, tmp_path):
     result = subprocess.run(
         [sys.executable, path],
         cwd=tmp_path,  # screenshots land in the temp dir
+        env=_env(),
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         timeout=120,
@@ -42,6 +53,7 @@ def test_example_runs(example, tmp_path):
 def test_xev_example_output_matches_paper(tmp_path):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, "xev_label.py"))
     result = subprocess.run([sys.executable, path], cwd=tmp_path,
+                            env=_env(),
                             stdout=subprocess.PIPE, timeout=60)
     output = result.stdout.decode()
     for line in ("198 w w", "174 Shift_L", "197 ! exclam"):
@@ -51,6 +63,7 @@ def test_xev_example_output_matches_paper(tmp_path):
 def test_quickstart_writes_screenshot(tmp_path):
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
     subprocess.run([sys.executable, path], cwd=tmp_path, timeout=60,
+                   env=_env(),
                    stdout=subprocess.DEVNULL, check=True)
     screenshot = tmp_path / "quickstart.xpm"
     assert screenshot.exists()

@@ -118,6 +118,47 @@ class TestActionCodeTable:
             assert set(ACTION_CODE_EVENTS[code]) == key
 
 
+class TestInvalidCombinations:
+    """Exhaustive: every (code, event-type) pair the table declares
+    invalid substitutes the empty string -- asserted against
+    ACTION_CODE_EVENTS itself so the test follows the table."""
+
+    UNIVERSE = (xtypes.ButtonPress, xtypes.ButtonRelease, xtypes.KeyPress,
+                xtypes.KeyRelease, xtypes.EnterNotify, xtypes.LeaveNotify,
+                xtypes.Expose, xtypes.MotionNotify)
+
+    def _event(self, widget, event_type):
+        if event_type in (xtypes.ButtonPress, xtypes.ButtonRelease):
+            return XEvent(event_type, None, button=1, x=5, y=6,
+                          x_root=15, y_root=16)
+        if event_type in (xtypes.KeyPress, xtypes.KeyRelease):
+            return XEvent(event_type, None, keycode=198, state=0,
+                          x=1, y=2, x_root=11, y_root=12)
+        return XEvent(event_type, None)
+
+    def test_every_invalid_pair_substitutes_empty(self, widget):
+        checked = 0
+        for code, valid_types in ACTION_CODE_EVENTS.items():
+            for event_type in self.UNIVERSE:
+                if event_type in valid_types:
+                    continue
+                result = substitute_action("%" + code, widget,
+                                           self._event(widget, event_type))
+                expected = "unknown" if code == "t" else ""
+                assert result == expected, (code, event_type)
+                checked += 1
+        assert checked > 0  # the table really does exclude combinations
+
+    def test_every_valid_pair_substitutes_something(self, widget):
+        for code, valid_types in ACTION_CODE_EVENTS.items():
+            if code == "a":
+                continue  # %a is legitimately empty for non-ASCII keys
+            for event_type in valid_types:
+                result = substitute_action("%" + code, widget,
+                                           self._event(widget, event_type))
+                assert result != "", (code, event_type)
+
+
 class TestCallbackCodes:
     def test_w_always_available(self, wafe, widget):
         assert substitute_callback("%w", widget, "callback", None) == "w"

@@ -171,3 +171,65 @@ class TestTclLists:
     def test_roundtrip_unbalanced_brace(self):
         values = ["open{", "close}"]
         assert string_to_list(list_to_string(values)) == values
+
+
+class TestPositions:
+    """Line/column threading: every token knows where it came from and
+    parse errors carry exact 1-based positions."""
+
+    def test_line_col_helper(self):
+        from repro.tcl.parser import line_col
+
+        script = "one\ntwo three\nfour"
+        assert line_col(script, 0) == (1, 1)
+        assert line_col(script, 3) == (1, 4)
+        assert line_col(script, 4) == (2, 1)
+        assert line_col(script, 8) == (2, 5)
+        assert line_col(script, len(script)) == (3, 5)
+
+    def test_command_positions(self):
+        script = "echo one\necho two\n  echo three\n"
+        commands = parse_script(script)
+        from repro.tcl.parser import line_col
+
+        positions = [line_col(script, c.pos) for c in commands]
+        assert positions == [(1, 1), (2, 1), (3, 3)]
+
+    def test_word_positions(self):
+        script = 'echo {braced arg} "quoted arg" bare\n'
+        (command,) = parse_script(script)
+        assert [w.pos for w in command.words] == [0, 5, 18, 31]
+
+    def test_unclosed_brace_error_position(self):
+        with pytest.raises(TclError) as exc:
+            parse_script("echo ok\necho {unclosed\n")
+        assert exc.value.line == 2
+        assert exc.value.col == 6
+        assert "line 2 column 6" in exc.value.result
+
+    def test_unclosed_bracket_error_position(self):
+        # Anchored at the outermost unclosed bracket.
+        with pytest.raises(TclError) as exc:
+            parse_script("set x [nested [deeper\n")
+        assert (exc.value.line, exc.value.col) == (1, 7)
+
+    def test_unclosed_quote_error_position(self):
+        with pytest.raises(TclError) as exc:
+            parse_script('echo "unclosed\n')
+        assert (exc.value.line, exc.value.col) == (1, 6)
+
+    def test_missing_variable_close_brace_position(self):
+        # Anchored at the $ that started the variable reference.
+        with pytest.raises(TclError) as exc:
+            parse_script("echo ${unclosed\n")
+        assert (exc.value.line, exc.value.col) == (1, 6)
+
+    def test_extra_characters_after_close_brace(self):
+        with pytest.raises(TclError) as exc:
+            parse_script("echo {a}b\n")
+        assert (exc.value.line, exc.value.col) == (1, 9)
+
+    def test_plain_errors_have_no_position(self):
+        # Errors raised outside parsing keep the old shape.
+        err = TclError("boom")
+        assert err.line is None and err.col is None
