@@ -28,31 +28,64 @@ class LineParser:
         self.prefix = prefix
         self.max_line = max_line
         self._buffer = b""
+        self._discarding = False  # inside an oversized line, pre-newline
         self.lines_seen = 0
         self.commands_seen = 0
+        self.overlong_lines = 0
 
-    def split_lines(self, data):
-        """Feed raw bytes; returns complete lines (classification is
-        separate so a ``setPrefix`` command takes effect for the very
-        next line, even within one read)."""
+    def split_lines_tolerant(self, data):
+        """Feed raw bytes; returns ``(lines, errors)``.
+
+        An oversized line is reported as a :class:`LineTooLong` in
+        ``errors`` and the parser *resynchronizes at the next newline*:
+        valid lines before, after, and even interleaved with the
+        overflow in the same read are all still returned.
+        """
         if isinstance(data, str):
             data = data.encode("utf-8", "replace")
         self._buffer += data
         lines = []
+        errors = []
         while True:
             newline = self._buffer.find(b"\n")
             if newline < 0:
-                if len(self._buffer) > self.max_line:
+                if self._discarding:
                     self._buffer = b""
-                    raise LineTooLong(
-                        "protocol line exceeds %d bytes" % self.max_line)
+                elif len(self._buffer) > self.max_line:
+                    # The line is already too long and its newline has
+                    # not arrived yet: drop what we have and keep
+                    # dropping until the next newline.
+                    self._buffer = b""
+                    self._discarding = True
+                    self.overlong_lines += 1
+                    errors.append(LineTooLong(
+                        "protocol line exceeds %d bytes" % self.max_line))
                 break
             raw = self._buffer[:newline]
             self._buffer = self._buffer[newline + 1 :]
+            if self._discarding:
+                # The tail of an oversized line already reported.
+                self._discarding = False
+                continue
             if len(raw) > self.max_line:
-                raise LineTooLong(
-                    "protocol line exceeds %d bytes" % self.max_line)
+                self.overlong_lines += 1
+                errors.append(LineTooLong(
+                    "protocol line exceeds %d bytes" % self.max_line))
+                continue
             lines.append(raw.decode("utf-8", "replace"))
+        return lines, errors
+
+    def split_lines(self, data):
+        """Strict variant: raises the first :class:`LineTooLong`.
+
+        The lines parsed from this feed (the parser has already
+        resynchronized) ride along on the exception as ``err.lines``.
+        """
+        lines, errors = self.split_lines_tolerant(data)
+        if errors:
+            err = errors[0]
+            err.lines = lines
+            raise err
         return lines
 
     def classify(self, line):

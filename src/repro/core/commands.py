@@ -4,10 +4,24 @@ These are the commands the paper describes individually: ``echo``,
 ``quit``, ``realize``, ``setValues``/``sV``, ``getValue``/``gV``,
 ``mergeResources``, ``action``, ``callback`` (predefined callbacks),
 ``applicationShell`` (display instead of parent), and the communication
-commands ``getChannel`` / ``setCommunicationVariable``.
+commands ``getChannel`` / ``setCommunicationVariable`` -- plus the
+supervision commands (``restartPolicy``, ``onBackendExit``,
+``backendStatus``, ``massTransferTimeout``, ``channelHighWater``)
+documented in docs/ROBUSTNESS.md.
 """
 
 from repro.tcl.errors import TclError
+from repro.core.supervisor import POLICIES
+
+
+def _int_arg(text, what):
+    try:
+        value = int(text)
+    except ValueError:
+        raise TclError('expected integer but got "%s"' % text)
+    if value < 0:
+        raise TclError("%s must be non-negative" % what)
+    return value
 
 
 def _wrong_args(usage):
@@ -199,6 +213,91 @@ def cmd_send_to_application(wafe, argv):
     return ""
 
 
+def cmd_restart_policy(wafe, argv):
+    """restartPolicy ?never|on-failure|always? ?maxRestarts? ?backoffMs?
+    ?backoffCapMs?: query or set the backend restart policy."""
+    config = wafe.supervision
+    if len(argv) == 1:
+        return "%s %d %d %d" % (config.policy, config.max_restarts,
+                                config.backoff_ms, config.backoff_cap_ms)
+    if len(argv) > 5:
+        _wrong_args("restartPolicy ?policy? ?maxRestarts? ?backoffMs? "
+                    "?backoffCapMs?")
+    if argv[1] not in POLICIES:
+        raise TclError('bad restart policy "%s": must be %s'
+                       % (argv[1], ", ".join(POLICIES)))
+    config.set("policy", argv[1])
+    if len(argv) > 2:
+        config.set("max_restarts", _int_arg(argv[2], "maxRestarts"))
+    if len(argv) > 3:
+        config.set("backoff_ms", _int_arg(argv[3], "backoffMs"))
+    if len(argv) > 4:
+        config.set("backoff_cap_ms", _int_arg(argv[4], "backoffCapMs"))
+    return ""
+
+
+def cmd_on_backend_exit(wafe, argv):
+    """onBackendExit ?script?: the hook run when the backend dies.
+
+    Percent codes in the script: %s status, %k kind, %c code,
+    %r restart count, %p program, %% literal."""
+    config = wafe.supervision
+    if len(argv) == 1:
+        return config.on_exit_script or ""
+    if len(argv) != 2:
+        _wrong_args("onBackendExit ?script?")
+    config.set("on_exit_script", argv[1] or None)
+    return ""
+
+
+def cmd_backend_status(wafe, argv):
+    """backendStatus: {state pid restartCount lastExitStatus}."""
+    from repro.tcl.lists import list_to_string
+
+    if len(argv) != 1:
+        _wrong_args("backendStatus")
+    if wafe.supervisor is not None:
+        return list_to_string(list(wafe.supervisor.status_fields()))
+    frontend = wafe.frontend
+    if frontend is None:
+        return list_to_string(["detached", "", "0", ""])
+    running = not frontend.closed and frontend.process.poll() is None
+    status = frontend.exit_status
+    return list_to_string([
+        "running" if running else "exited",
+        str(frontend.process.pid) if running else "",
+        "0",
+        status.describe() if status else "",
+    ])
+
+
+def cmd_mass_transfer_timeout(wafe, argv):
+    """massTransferTimeout ?ms?: stall watchdog for the mass channel
+    (0 disables).  A transfer with no progress for this long is
+    aborted: the error is reported and the completion script runs with
+    transferStatus set to "timeout"."""
+    config = wafe.supervision
+    if len(argv) == 1:
+        return str(config.mass_timeout_ms)
+    if len(argv) != 2:
+        _wrong_args("massTransferTimeout ?ms?")
+    config.set("mass_timeout_ms", _int_arg(argv[1], "massTransferTimeout"))
+    return ""
+
+
+def cmd_channel_high_water(wafe, argv):
+    """channelHighWater ?bytes?: outbound backpressure limit -- beyond
+    this many queued bytes, output to a non-reading backend is dropped
+    with a reported error instead of buffered without bound."""
+    config = wafe.supervision
+    if len(argv) == 1:
+        return str(config.high_water)
+    if len(argv) != 2:
+        _wrong_args("channelHighWater ?bytes?")
+    config.set("high_water", _int_arg(argv[1], "channelHighWater"))
+    return ""
+
+
 def register(wafe):
     wafe.register_command("echo", cmd_echo)
     wafe.register_command("quit", cmd_quit)
@@ -220,3 +319,8 @@ def register(wafe):
                           cmd_set_communication_variable)
     wafe.register_command("sendToApplication", cmd_send_to_application)
     wafe.register_command("setPrefix", cmd_set_prefix)
+    wafe.register_command("restartPolicy", cmd_restart_policy)
+    wafe.register_command("onBackendExit", cmd_on_backend_exit)
+    wafe.register_command("backendStatus", cmd_backend_status)
+    wafe.register_command("massTransferTimeout", cmd_mass_transfer_timeout)
+    wafe.register_command("channelHighWater", cmd_channel_high_water)

@@ -10,19 +10,28 @@ parsing.
 The program to launch comes either from an explicit argument or from
 the paper's naming scheme: when Wafe is invoked through a link named
 ``xfoo``, the backend program ``foo`` is spawned.
+
+The outbound channel is fully non-blocking: the backend's stdin is put
+in O_NONBLOCK mode, partial writes and EAGAIN park the remainder in a
+bounded pending queue drained through an output-readiness watch on the
+Xt event loop, and a high-water limit turns unbounded buffering into a
+reported error -- a stalled backend can never freeze the GUI inside
+``write()``.  See docs/ROBUSTNESS.md.
 """
 
+import collections
 import os
+import select
 import shutil
 import subprocess
 import sys
+import time as _time
 
 from repro.tcl.errors import TclError
 from repro.core.channel import (
     DEFAULT_MAX_LINE,
     DEFAULT_PREFIX,
     LineParser,
-    LineTooLong,
     MassTransferState,
 )
 
@@ -35,43 +44,72 @@ def backend_for_invocation(invoked_as):
     return None
 
 
+def _classify(returncode):
+    # Local import: supervisor imports this module.
+    from repro.core.supervisor import classify_exit
+
+    return classify_exit(returncode)
+
+
 class Frontend:
     """Owns the backend subprocess and its channels."""
 
+    #: How many bytes may sit unarmed in the mass channel before the
+    #: overrun is reported and further unarmed data dropped.
+    MASS_LEFTOVER_LIMIT = 1 << 20
+
     def __init__(self, wafe, program, program_args=None,
                  prefix=DEFAULT_PREFIX, max_line=DEFAULT_MAX_LINE,
-                 passthrough=None):
+                 passthrough=None, supervisor=None):
         self.wafe = wafe
         self.program = program
+        self.supervisor = supervisor
         self.parser = LineParser(prefix, max_line)
         self.mass_state = None
         self._mass_read = None
         self._mass_child_fd = None
         self._mass_input_id = None
+        self._mass_leftover = b""
+        self._mass_overrun_reported = False
+        self._mass_watch_id = None
+        self._mass_activity = None
         self.passthrough = passthrough  # callable(str) for non-command lines
         self.closed = False
         self.eof_seen = False
+        self.exit_status = None     # ExitStatus once the child is reaped
         # Outbound writes are buffered so the many ``echo`` lines one
         # event can fire coalesce into a single write+flush on the pipe
         # (flushed at event-loop idle, after each batch of backend
-        # input, or on explicit ``sync``).
+        # input, or on explicit ``sync``).  Bytes the kernel pipe will
+        # not accept right now are parked in ``_pending`` and drained
+        # by an output-readiness watch -- never a blocking write.
         self._out_buffer = []
         self._out_buffered_bytes = 0
+        self._pending = collections.deque()
+        self._pending_bytes = 0
         self._flush_work_id = None
+        self._output_id = None
+        self._overflowed = False
+        self.dropped_bytes = 0
         command = self._resolve_command(program, program_args or [])
         # The mass channel exists from the start so getChannel can
         # report a stable fd number to the application.
         self._mass_read, self._mass_child_fd = os.pipe()
         os.set_inheritable(self._mass_child_fd, True)
         os.set_blocking(self._mass_read, False)
+        # bufsize=0: stdin is a raw FileIO whose write() honours
+        # O_NONBLOCK (partial count, or None on EAGAIN).
         self.process = subprocess.Popen(
             command,
             stdin=subprocess.PIPE,
             stdout=subprocess.PIPE,
             stderr=None,
+            bufsize=0,
             close_fds=True,
             pass_fds=(self._mass_child_fd,),
         )
+        self._stdin_fd = self.process.stdin.fileno()
+        os.set_blocking(self._stdin_fd, False)
         os.set_blocking(self.process.stdout.fileno(), False)
         self._input_id = wafe.app.add_input(self.process.stdout,
                                             self._on_readable)
@@ -102,16 +140,19 @@ class Frontend:
     def _on_readable(self, fileobj):
         try:
             data = os.read(fileobj.fileno(), 65536)
+        except BlockingIOError:
+            return  # spurious wakeup
         except (OSError, ValueError):
             data = b""
         if not data:
             self._handle_eof()
             return
-        try:
-            lines = self.parser.split_lines(data)
-        except LineTooLong as err:
+        # Oversized lines are reported and the parser resynchronizes
+        # at the next newline; every valid line in the read -- before
+        # or after the overflow -- is still processed.
+        lines, errors = self.parser.split_lines_tolerant(data)
+        for err in errors:
             self.wafe.report_error(str(err))
-            return
         # Classify lazily, one line at a time: a %setPrefix command
         # affects the classification of the very next line.
         for raw in lines:
@@ -132,29 +173,75 @@ class Frontend:
             sys.stdout.flush()
 
     def _handle_eof(self):
-        """Backend closed its stdout: detach and end the main loop."""
+        """Backend closed its stdout: reap it and hand the session's
+        fate to the supervisor (or end the main loop, standalone)."""
         if self.eof_seen:
             return
         self.eof_seen = True
         self.wafe.app.remove_input(self._input_id)
-        self.wafe.app.exit_loop()
+        # The pipe's reader is gone with the session; pending outbound
+        # bytes can never arrive.
+        self._clear_outbound()
+        self._cancel_mass_watchdog()
+        self.exit_status = self._reap()
+        if self.supervisor is not None:
+            self.supervisor.backend_exited(self, self.exit_status)
+        else:
+            self.wafe.app.exit_loop()
+
+    def _reap(self, grace=0.2):
+        """Collect the child's exit status so no zombie lingers.
+
+        EOF on stdout almost always means the child is exiting; give
+        it a short grace period.  Returns None if it is genuinely
+        still alive (stdout closed deliberately) -- close() or the
+        supervisor escalate from there."""
+        returncode = self.process.poll()
+        if returncode is None:
+            try:
+                returncode = self.process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                return None
+        return _classify(returncode)
 
     # ------------------------------------------------------------------
     # Frontend -> application
 
     # How much outbound data may accumulate before we stop deferring
-    # to loop idle and write through (bounds memory; roughly one pipe
-    # capacity so the write itself stays non-blocking in practice).
+    # to loop idle and write through (bounds latency; roughly one pipe
+    # capacity so the write usually completes in one call).
     FLUSH_THRESHOLD = 32768
+
+    @property
+    def high_water(self):
+        """Backpressure limit: total queued outbound bytes allowed."""
+        config = getattr(self.wafe, "supervision", None)
+        if config is not None:
+            return config.high_water
+        return 1 << 20
+
+    def queued_bytes(self):
+        """Everything waiting to reach the backend."""
+        return self._out_buffered_bytes + self._pending_bytes
 
     def send(self, text):
         """Queue ``text`` for the application; order is preserved.
 
         The actual write happens in :meth:`flush` -- scheduled as an
         idle work proc so all the sends fired by one event become a
-        single ``write()`` + ``flush()`` on the pipe.
-        """
+        single ``write()`` on the pipe.  Data beyond the high-water
+        mark is dropped with a reported error rather than buffered
+        without bound (the backend is not consuming its stdin)."""
         if self.closed or self.process.stdin is None:
+            return
+        if self.queued_bytes() + len(text) > self.high_water:
+            self.dropped_bytes += len(text)
+            if not self._overflowed:
+                self._overflowed = True
+                self.wafe.report_error(
+                    "backend channel overflow: %d bytes queued and the "
+                    "application is not reading; dropping output"
+                    % self.queued_bytes())
             return
         self._out_buffer.append(text)
         self._out_buffered_bytes += len(text)
@@ -169,22 +256,95 @@ class Frontend:
         return True  # one-shot: the work proc removes itself
 
     def flush(self):
-        """Write everything queued by :meth:`send` in one system call."""
+        """Move queued text to the wire -- as much as the pipe accepts.
+
+        Never blocks: what the kernel will not take right now stays in
+        the pending queue and an output watch on the event loop drains
+        it as the backend reads."""
         if self._flush_work_id is not None:
             self.wafe.app.remove_work_proc(self._flush_work_id)
             self._flush_work_id = None
-        if not self._out_buffer:
+        if self._out_buffer:
+            data = "".join(self._out_buffer).encode("utf-8", "replace")
+            self._out_buffer = []
+            self._out_buffered_bytes = 0
+            self._pending.append(data)
+            self._pending_bytes += len(data)
+        self._write_pending()
+
+    def _write_pending(self):
+        if self.closed or self.process.stdin is None:
+            self._clear_outbound()
             return
-        data = "".join(self._out_buffer)
+        wrote_any = False
+        while self._pending:
+            chunk = self._pending[0]
+            try:
+                n = self.process.stdin.write(chunk)
+            except BlockingIOError as err:
+                n = err.characters_written or None
+            except (BrokenPipeError, OSError, ValueError):
+                self._clear_outbound()
+                self._handle_eof()
+                return
+            if n is None:       # EAGAIN: the pipe is full
+                break
+            wrote_any = True
+            self._pending_bytes -= n
+            if n < len(chunk):  # partial write: pipe is now full
+                self._pending[0] = chunk[n:]
+                break
+            self._pending.popleft()
+        if self._pending:
+            if self._output_id is None:
+                self._output_id = self.wafe.app.add_output(
+                    self._stdin_fd, self._on_writable)
+        else:
+            self._cancel_output_watch()
+            if self._overflowed:
+                self._overflowed = False  # drained: report again next time
+            if wrote_any:
+                try:
+                    self.process.stdin.flush()  # no-op on raw; counts in tests
+                except (BrokenPipeError, OSError, ValueError):
+                    self._clear_outbound()
+                    self._handle_eof()
+
+    def _on_writable(self, fd):
+        self._write_pending()
+
+    def _cancel_output_watch(self):
+        if self._output_id is not None:
+            self.wafe.app.remove_output(self._output_id)
+            self._output_id = None
+
+    def _clear_outbound(self):
         self._out_buffer = []
         self._out_buffered_bytes = 0
-        if self.closed or self.process.stdin is None:
-            return
-        try:
-            self.process.stdin.write(data.encode("utf-8", "replace"))
-            self.process.stdin.flush()
-        except (BrokenPipeError, OSError, ValueError):
-            self._handle_eof()
+        self._pending.clear()
+        self._pending_bytes = 0
+        self._cancel_output_watch()
+        if self._flush_work_id is not None:
+            self.wafe.app.remove_work_proc(self._flush_work_id)
+            self._flush_work_id = None
+
+    def _drain(self, timeout=0.5):
+        """Graceful-close drain: give pending output a bounded chance
+        to reach the backend before the pipe is torn down."""
+        self.flush()
+        deadline = _time.monotonic() + timeout
+        while self._pending and not self.closed and not self.eof_seen:
+            remaining = deadline - _time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                __, writable, __ = select.select([], [self._stdin_fd], [],
+                                                 remaining)
+            except (OSError, ValueError):
+                break
+            if not writable:
+                break
+            self._write_pending()
 
     # ------------------------------------------------------------------
     # Mass transfer channel
@@ -195,45 +355,130 @@ class Frontend:
 
     def set_communication_variable(self, var_name, limit, script):
         self.mass_state = MassTransferState(var_name, limit, script)
+        self._mass_activity = _time.monotonic()
         if self._mass_input_id is None:
             # Wrap the raw fd so select() can watch it.
             self._mass_file = os.fdopen(self._mass_read, "rb", buffering=0,
                                         closefd=False)
             self._mass_input_id = self.wafe.app.add_input(
                 self._mass_file, self._on_mass_readable)
+        self._arm_mass_watchdog()
+        if self._mass_leftover:
+            # Bytes that overran the previous request are the start of
+            # this one.
+            leftover, self._mass_leftover = self._mass_leftover, b""
+            self._mass_overrun_reported = False
+            done = self.mass_state.feed(leftover)
+            if done is not None:
+                self._complete_mass(*done, status="ok")
 
     def _on_mass_readable(self, fileobj):
         try:
             data = os.read(self._mass_read, 65536)
         except (BlockingIOError, OSError):
             return
-        if not data or self.mass_state is None:
+        if not data:
+            return
+        self._mass_activity = _time.monotonic()
+        if self.mass_state is None:
+            self._stash_mass_leftover(data)
             return
         done = self.mass_state.feed(data)
         if done is not None:
-            payload, leftover = done
-            state = self.mass_state
-            self.mass_state = None
-            self.wafe.interp.set_var(
-                state.var_name, payload.decode("utf-8", "replace"))
-            self.wafe.run_command_line(state.completion_script)
-            self.flush()
-            if leftover:
-                self.mass_state = MassTransferState(
-                    state.var_name, len(leftover), "")  # keep remainder
-                self.mass_state.feed(leftover)
+            self._complete_mass(*done, status="ok")
+
+    def _complete_mass(self, payload, leftover, status):
+        """Finish the active transfer: set the variable, record the
+        transfer status in ``transferStatus``, run the completion
+        script, and keep any excess bytes for the next request."""
+        state = self.mass_state
+        self.mass_state = None
+        self._cancel_mass_watchdog()
+        if leftover:
+            self._stash_mass_leftover(leftover)
+        self.wafe.interp.set_var(
+            state.var_name, payload.decode("utf-8", "replace"))
+        self.wafe.interp.set_var("transferStatus", status)
+        self.wafe.run_command_line(state.completion_script)
+        self.flush()
+
+    def _stash_mass_leftover(self, data):
+        """Excess mass-channel bytes with no request armed: preserved
+        (bounded) for the next setCommunicationVariable."""
+        room = self.MASS_LEFTOVER_LIMIT - len(self._mass_leftover)
+        if room > 0:
+            self._mass_leftover += data[:room]
+        overrun = len(data) - room
+        if overrun > 0 and not self._mass_overrun_reported:
+            self._mass_overrun_reported = True
+            self.wafe.report_error(
+                "mass transfer overrun: %d unrequested bytes dropped "
+                "beyond the %d-byte carryover limit"
+                % (overrun, self.MASS_LEFTOVER_LIMIT))
+
+    # -- the stall watchdog
+
+    def _mass_timeout_ms(self):
+        config = getattr(self.wafe, "supervision", None)
+        return config.mass_timeout_ms if config is not None else 0
+
+    def _arm_mass_watchdog(self):
+        timeout_ms = self._mass_timeout_ms()
+        if timeout_ms <= 0 or self._mass_watch_id is not None:
+            return
+        self._mass_watch_id = self.wafe.app.add_timeout(
+            timeout_ms, self._mass_watchdog)
+
+    def _cancel_mass_watchdog(self):
+        if self._mass_watch_id is not None:
+            self.wafe.app.remove_timeout(self._mass_watch_id)
+            self._mass_watch_id = None
+
+    def _mass_watchdog(self):
+        self._mass_watch_id = None
+        if self.mass_state is None:
+            return
+        timeout_ms = self._mass_timeout_ms()
+        if timeout_ms <= 0:
+            return
+        elapsed_ms = (_time.monotonic() - self._mass_activity) * 1000.0
+        if elapsed_ms + 1.0 < timeout_ms:
+            # Data flowed since the last check: watch the remainder.
+            self._mass_watch_id = self.wafe.app.add_timeout(
+                max(1, int(timeout_ms - elapsed_ms)), self._mass_watchdog)
+            return
+        state = self.mass_state
+        self.wafe.report_error(
+            "mass transfer stalled: %d of %d bytes for variable \"%s\" "
+            "after %d ms; aborting"
+            % (len(state.received), state.limit, state.var_name,
+               int(timeout_ms)))
+        # The completion script still runs -- with the partial payload
+        # and transferStatus "timeout" -- so the application-level
+        # protocol can recover instead of waiting forever.
+        self._complete_mass(state.received, b"", status="timeout")
 
     # ------------------------------------------------------------------
 
     def wait(self, timeout=None):
-        self.flush()
-        return self.process.wait(timeout=timeout)
+        self._drain()
+        status = self.process.wait(timeout=timeout)
+        if self.exit_status is None:
+            self.exit_status = _classify(status)
+        return status
 
     def close(self):
         if self.closed:
             return
-        self.flush()
+        self._drain()
         self.closed = True
+        self._clear_outbound()
+        self._cancel_mass_watchdog()
+        if self._mass_input_id is not None:
+            self.wafe.app.remove_input(self._mass_input_id)
+            self._mass_input_id = None
+        if not self.eof_seen:
+            self.wafe.app.remove_input(self._input_id)
         for stream in (self.process.stdin, self.process.stdout):
             try:
                 if stream is not None:
@@ -254,5 +499,11 @@ class Frontend:
                 self.process.wait(timeout=2)
             except (OSError, subprocess.TimeoutExpired):
                 self.process.kill()
+                try:
+                    self.process.wait(timeout=2)
+                except (OSError, subprocess.TimeoutExpired):
+                    pass
+        if self.exit_status is None:
+            self.exit_status = _classify(self.process.poll())
         if self.wafe.frontend is self:
             self.wafe.frontend = None

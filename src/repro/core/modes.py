@@ -11,7 +11,7 @@
 
 import sys
 
-from repro.core.frontend import Frontend
+from repro.core.supervisor import BackendSupervisor
 from repro.core.wafe import Wafe
 
 
@@ -110,13 +110,18 @@ class InteractiveSession:
 
 def run_frontend(wafe, program, program_args=None, max_idle=None,
                  passthrough=None):
-    """Frontend mode: spawn the backend, serve the protocol until it
-    exits or ``quit`` arrives."""
-    frontend = Frontend(wafe, program, program_args,
-                        passthrough=passthrough)
+    """Frontend mode: spawn the backend under supervision and serve
+    the protocol until the supervisor lets the session end (backend
+    exit under ``restartPolicy never`` with no hook) or ``quit``
+    arrives.  Crashes are classified, reported through
+    ``onBackendExit`` and -- policy permitting -- restarted with
+    backoff while the GUI keeps serving events."""
+    supervisor = BackendSupervisor(wafe, program, program_args,
+                                   passthrough=passthrough)
+    frontend = supervisor.start()
     wafe.main_loop(until=lambda: wafe.quit_requested, max_idle=max_idle)
-    frontend.close()
-    return frontend
+    supervisor.stop()
+    return supervisor.frontend or frontend
 
 
 def make_wafe(build="athena", display_name=":0", argv=None, compile=True):

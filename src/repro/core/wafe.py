@@ -19,6 +19,7 @@ from repro.xt.callbacks import CallbackList
 from repro.xt.translations import merge_tables, parse_translation_table
 from repro.xt import resources as R
 from repro.core import commands as _commands
+from repro.core.supervisor import SupervisionConfig as _SupervisionConfig
 from repro.core.percent import substitute_action, substitute_callback
 from repro.core.predefined import PREDEFINED_CALLBACKS
 
@@ -74,6 +75,8 @@ class Wafe:
         self.widgets = {}
         self.bell_count = 0
         self.frontend = None       # set in frontend mode
+        self.supervisor = None     # set when a BackendSupervisor attaches
+        self.supervision = _SupervisionConfig()  # shared policy knobs
         self.quit_requested = False
         self.error_sink = None     # callable(str) for reporting errors
         self.interp.write_output = self._tcl_output
@@ -295,7 +298,9 @@ class Wafe:
     def quit(self):
         self.quit_requested = True
         self.app.exit_loop()
-        if self.frontend is not None:
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        elif self.frontend is not None:
             self.frontend.close()
 
     def realize(self, widget=None):

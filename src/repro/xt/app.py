@@ -33,6 +33,7 @@ class XtAppContext:
         self._window_widgets = {}
         self._timeouts = []  # (deadline, id, func, args)
         self._inputs = {}    # id -> (fd, func)
+        self._outputs = {}   # id -> (fd, func), fd watched for writability
         self._work_procs = []
         self._next_id = 1
         self._quit = False
@@ -129,6 +130,17 @@ class XtAppContext:
 
     def remove_input(self, input_id):
         self._inputs.pop(input_id, None)
+
+    def add_output(self, fileobj, func):
+        """XtAppAddInput with XtInputWriteMask: call func(fileobj) when
+        the descriptor is writable (used for non-blocking pipe drains)."""
+        output_id = self._next_id
+        self._next_id += 1
+        self._outputs[output_id] = (fileobj, func)
+        return output_id
+
+    def remove_output(self, output_id):
+        self._outputs.pop(output_id, None)
 
     def add_work_proc(self, func):
         """XtAppAddWorkProc: func() -> True removes itself."""
@@ -227,23 +239,33 @@ class XtAppContext:
         return fired
 
     def _poll_inputs(self, timeout):
-        if not self._inputs:
+        if not self._inputs and not self._outputs:
             if timeout:
                 _time.sleep(timeout)
             return 0
-        entries = list(self._inputs.items())
-        fds = [entry[1][0] for entry in entries]
+        in_entries = list(self._inputs.items())
+        out_entries = list(self._outputs.items())
+        read_fds = [entry[1][0] for entry in in_entries]
+        write_fds = [entry[1][0] for entry in out_entries]
         try:
-            readable, __, __ = select.select(fds, [], [], timeout)
+            readable, writable, __ = select.select(read_fds, write_fds, [],
+                                                   timeout)
         except (OSError, ValueError):
-            # An input went away; drop closed fds.
-            for input_id, (fd, __) in entries:
+            # A source went away; drop closed fds.
+            for input_id, (fd, __) in in_entries:
                 if getattr(fd, "closed", False):
                     self._inputs.pop(input_id, None)
+            for output_id, (fd, __) in out_entries:
+                if getattr(fd, "closed", False):
+                    self._outputs.pop(output_id, None)
             return 0
         fired = 0
-        for input_id, (fd, func) in entries:
+        for input_id, (fd, func) in in_entries:
             if fd in readable and input_id in self._inputs:
+                func(fd)
+                fired += 1
+        for output_id, (fd, func) in out_entries:
+            if fd in writable and output_id in self._outputs:
                 func(fd)
                 fired += 1
         return fired
@@ -292,7 +314,7 @@ class XtAppContext:
                 continue
             idle += 1
             has_sources = bool(self._timeouts or self._inputs or
-                               self._work_procs)
+                               self._outputs or self._work_procs)
             if not has_sources and self.pending() == 0:
                 return  # nothing can ever happen again
             if max_idle is not None and idle >= max_idle:

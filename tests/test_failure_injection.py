@@ -1,13 +1,17 @@
 """Failure injection: the frontend must survive misbehaving backends."""
 
+import os
+import signal
 import sys
 import textwrap
+import time
 
 import pytest
 
 from repro.xlib import close_all_displays
 from repro.core import make_wafe
 from repro.core.frontend import Frontend
+from repro.core.supervisor import BackendSupervisor
 
 
 @pytest.fixture
@@ -87,6 +91,45 @@ class TestBackendFailures:
         wafe.echo("into the void")
         front.close()
 
+    def test_oversized_line_does_not_drop_valid_neighbours(self, wafe,
+                                                           tmp_path):
+        # Regression: a LineTooLong used to abandon every valid line
+        # that arrived in the same read.  Now the error is reported,
+        # the parser resynchronizes at the next newline, and the lines
+        # before *and* after the monster are still executed.
+        errors = []
+        wafe.error_sink = errors.append
+        command = backend(tmp_path, '''
+            import sys
+            sys.stdout.write("%set before 1\\n")
+            sys.stdout.write("%set big {" + "x" * 200000 + "}\\n")
+            sys.stdout.write("%set after 1\\n")
+            sys.stdout.flush()
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("after"),
+                       max_idle=800)
+        front.close()
+        assert wafe.run_script("set before") == "1"
+        assert wafe.run_script("set after") == "1"
+        assert wafe.run_script("info exists big") == "0"
+        assert any("exceeds" in e for e in errors)
+
+    def test_crashed_backend_is_reaped_without_close(self, wafe, tmp_path):
+        # Regression: _handle_eof never wait()ed, so the child stayed a
+        # zombie until close().  Now EOF reaps and classifies it.
+        command = backend(tmp_path, 'print("%set done 1")\nraise SystemExit(5)')
+        front = Frontend(wafe, command)
+        wafe.main_loop(max_idle=800)
+        assert front.eof_seen
+        assert front.process.returncode == 5  # reaped: no zombie
+        assert front.exit_status.kind == "exit"
+        assert front.exit_status.code == 5
+        # The pid is fully collected -- waiting again must fail.
+        with pytest.raises(ChildProcessError):
+            os.waitpid(front.process.pid, os.WNOHANG)
+        front.close()
+
     def test_binary_garbage_passthrough(self, wafe, tmp_path):
         lines = []
         command = backend(tmp_path, '''
@@ -101,6 +144,202 @@ class TestBackendFailures:
         front.close()
         assert wafe.run_script("set ok") == "1"
         assert len(lines) == 1
+
+
+class TestBackpressure:
+    """A backend that never drains its stdin must not freeze the GUI."""
+
+    def test_pipe_full_never_blocks_event_loop(self, wafe, tmp_path):
+        errors = []
+        wafe.error_sink = errors.append
+        wafe.run_script("channelHighWater 300000")
+        command = backend(tmp_path, '''
+            import sys, time
+            print("%set ready 1")
+            sys.stdout.flush()
+            time.sleep(30)     # never reads stdin
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("ready"),
+                       max_idle=800)
+        chunk = "x" * 65536
+        started = time.monotonic()
+        for __ in range(8):    # 512 KiB at a 300000-byte high water
+            front.send(chunk)
+        elapsed = time.monotonic() - started
+        # A blocking write() would park here until the 64 KiB pipe
+        # drained -- i.e. forever.  The non-blocking path returns fast.
+        assert elapsed < 2.0
+        assert any("overflow" in e for e in errors)
+        assert front.queued_bytes() <= 300000
+        assert front.dropped_bytes > 0
+        # The event loop keeps dispatching: timers fire while the
+        # output sits queued behind the full pipe.
+        fired = []
+        wafe.app.add_timeout(5, lambda: fired.append(1))
+        wafe.main_loop(until=lambda: bool(fired), max_idle=800)
+        assert fired
+        front.close()
+
+    def test_queued_output_drains_when_backend_reads(self, wafe, tmp_path):
+        # Fill past the pipe capacity, then let the backend read: the
+        # output watch drains the pending queue with no explicit flush.
+        command = backend(tmp_path, '''
+            import sys, time
+            print("%set ready 1")
+            sys.stdout.flush()
+            time.sleep(0.4)    # let the frontend overfill the pipe
+            total = 0
+            while total < 131072:
+                total += len(sys.stdin.readline())
+            print("%set got " + str(total))
+            sys.stdout.flush()
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("ready"),
+                       max_idle=800)
+        line = "y" * 8191 + "\n"
+        for __ in range(16):   # 128 KiB: twice the pipe capacity
+            front.send(line)
+        assert front.queued_bytes() > 0  # the pipe filled up
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("got"),
+                       max_idle=2000)
+        assert int(wafe.run_script("set got")) >= 131072
+        assert front.queued_bytes() == 0
+        front.close()
+
+    def test_overflow_error_reported_once_per_episode(self, wafe, tmp_path):
+        errors = []
+        wafe.error_sink = errors.append
+        wafe.run_script("channelHighWater 1000")
+        command = backend(tmp_path, '''
+            import sys, time
+            print("%set ready 1")
+            sys.stdout.flush()
+            time.sleep(30)
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("ready"),
+                       max_idle=800)
+        for __ in range(50):
+            front.send("z" * 100)
+        overflow_errors = [e for e in errors if "overflow" in e]
+        assert len(overflow_errors) == 1
+        front.close()
+
+
+class TestSignalRestart:
+    """The ISSUE acceptance scenario: SIGKILL mid-stream, supervised."""
+
+    def test_sigkill_mid_stream_backoff_and_hook(self, wafe, tmp_path):
+        errors = []
+        wafe.error_sink = errors.append
+        wafe.run_script("restartPolicy on-failure 2 30 500")
+        wafe.run_script("onBackendExit {set obit {%s after %r restarts}}")
+        marker = tmp_path / "spawned"
+        command = backend(tmp_path, '''
+            import os, sys, time
+            path = %r
+            n = 1
+            if os.path.exists(path):
+                n = int(open(path).read()) + 1
+            open(path, "w").write(str(n))
+            sys.stdout.write("%%set spawn " + str(n) + "\\n"
+                             "%%label l" + str(n) + " topLevel\\n")
+            sys.stdout.flush()
+            time.sleep(30)
+        ''' % str(marker))
+        supervisor = BackendSupervisor(wafe, command)
+        supervisor.start()
+
+        def spawn(n):
+            # Key on the *last* line of the burst so the kill cannot
+            # race the backend's own writes.
+            return lambda: ("l%d" % n) in wafe.widgets
+
+        wafe.main_loop(until=spawn(1), max_idle=800)
+        os.kill(supervisor.frontend.process.pid, signal.SIGKILL)
+        wafe.main_loop(until=spawn(2), max_idle=2000)
+        # The GUI survived: widgets from both incarnations exist and
+        # the session is healthy again.
+        assert wafe.run_script("widgetExists l1") == "1"
+        assert wafe.run_script("widgetExists l2") == "1"
+        assert wafe.run_script("set obit") == \
+            "signal 9 (SIGKILL) after 0 restarts"
+        assert supervisor.backoff_schedule == [30]
+        assert any("restart 1/2" in e for e in errors)
+        supervisor.stop()
+
+
+class TestMassTransferWatchdog:
+    def test_stalled_transfer_aborts_with_timeout_status(self, wafe,
+                                                         tmp_path):
+        errors = []
+        wafe.error_sink = errors.append
+        wafe.run_script("massTransferTimeout 120")
+        command = backend(tmp_path, '''
+            import os, sys, time
+            print("%echo chan [getChannel]")
+            sys.stdout.flush()
+            fd = int(sys.stdin.readline().split()[-1])
+            print("%setCommunicationVariable C 1000 {set done $transferStatus}")
+            sys.stdout.flush()
+            os.write(fd, b"A" * 10)    # 10 of 1000 bytes, then stall
+            time.sleep(30)
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("done"),
+                       max_idle=2000)
+        front.close()
+        # The completion script still ran -- with the error status and
+        # the partial payload -- instead of waiting forever.
+        assert wafe.run_script("set done") == "timeout"
+        assert wafe.run_script("set C") == "A" * 10
+        assert any("stalled" in e for e in errors)
+
+    def test_slow_but_live_transfer_is_not_killed(self, wafe, tmp_path):
+        # Progress resets the watchdog: a trickle that never pauses
+        # longer than the timeout completes normally.
+        wafe.run_script("massTransferTimeout 400")
+        command = backend(tmp_path, '''
+            import os, sys, time
+            print("%echo chan [getChannel]")
+            sys.stdout.flush()
+            fd = int(sys.stdin.readline().split()[-1])
+            print("%setCommunicationVariable C 50 {set done $transferStatus}")
+            sys.stdout.flush()
+            for i in range(5):
+                os.write(fd, b"B" * 10)
+                time.sleep(0.1)
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("done"),
+                       max_idle=2000)
+        front.close()
+        assert wafe.run_script("set done") == "ok"
+        assert wafe.run_script("set C") == "B" * 50
+
+    def test_leftover_bytes_feed_the_next_request(self, wafe, tmp_path):
+        # Regression: bytes beyond the limit were stuffed into a fresh
+        # state with an empty completion script and silently dropped.
+        # Now they are preserved for the next request.
+        command = backend(tmp_path, '''
+            import os, sys
+            print("%echo chan [getChannel]")
+            sys.stdout.flush()
+            fd = int(sys.stdin.readline().split()[-1])
+            print("%setCommunicationVariable C 100 "
+                  "{set first $C; setCommunicationVariable D 50 "
+                  "{set second $D; set done 1}}")
+            sys.stdout.flush()
+            os.write(fd, b"X" * 100 + b"Y" * 50)   # one burst, two requests
+        ''')
+        front = Frontend(wafe, command)
+        wafe.main_loop(until=lambda: wafe.interp.var_exists("done"),
+                       max_idle=2000)
+        front.close()
+        assert wafe.run_script("set first") == "X" * 100
+        assert wafe.run_script("set second") == "Y" * 50
 
 
 class TestScriptErrorPaths:

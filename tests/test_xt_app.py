@@ -81,6 +81,58 @@ class TestInputs:
         reader.close()
 
 
+class TestOutputs:
+    def test_output_fires_when_writable(self, app):
+        read_fd, write_fd = os.pipe()
+        os.set_blocking(write_fd, False)
+        fired = []
+
+        def on_writable(fd):
+            fired.append(fd)
+            app.remove_output(output_id)
+
+        output_id = app.add_output(write_fd, on_writable)
+        app.main_loop(until=lambda: bool(fired), max_idle=100)
+        assert fired == [write_fd]
+        os.close(read_fd)
+        os.close(write_fd)
+
+    def test_output_waits_for_pipe_drain(self, app):
+        # A full pipe is not writable; reading makes it writable again.
+        read_fd, write_fd = os.pipe()
+        os.set_blocking(write_fd, False)
+        while True:  # fill the pipe
+            try:
+                if os.write(write_fd, b"x" * 4096) == 0:
+                    break
+            except BlockingIOError:
+                break
+        fired = []
+
+        def on_writable(fd):
+            fired.append(fd)
+            app.remove_output(output_id)
+
+        output_id = app.add_output(write_fd, on_writable)
+        app.main_loop(max_idle=5)
+        assert fired == []  # still full
+        os.read(read_fd, 65536)
+        app.main_loop(until=lambda: bool(fired), max_idle=100)
+        assert fired == [write_fd]
+        os.close(read_fd)
+        os.close(write_fd)
+
+    def test_remove_output(self, app):
+        read_fd, write_fd = os.pipe()
+        fired = []
+        output_id = app.add_output(write_fd, lambda f: fired.append(1))
+        app.remove_output(output_id)
+        app.main_loop(max_idle=3)
+        assert fired == []
+        os.close(read_fd)
+        os.close(write_fd)
+
+
 class TestWorkProcs:
     def test_work_proc_runs_when_idle(self, app):
         count = []
