@@ -30,6 +30,14 @@ _TCL_COMPILE_RECORDS = {}
 BENCH_TCL_COMPILE_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_tcl_compile.json")
 
+# BENCH_xrm.json: the quark-interned Xrm machinery artifact, written
+# the same way by bench_xrm.py through the ``xrm_record`` fixture.
+
+_XRM_RECORDS = {}
+
+BENCH_XRM_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_xrm.json")
+
 
 @pytest.fixture
 def tcl_compile_record():
@@ -41,18 +49,37 @@ def tcl_compile_record():
     return record
 
 
+@pytest.fixture
+def xrm_record():
+    """Call with (workload_name, payload_dict) to add one Xrm record."""
+
+    def record(name, payload):
+        _XRM_RECORDS[name] = payload
+
+    return record
+
+
 def pytest_sessionfinish(session, exitstatus):
-    if not _TCL_COMPILE_RECORDS:
-        return
-    artifact = {
-        "schema": "wafe-tcl-compile-bench/1",
-        "generated_unix": round(time.time(), 3),
-        "python": platform.python_version(),
-        "workloads": _TCL_COMPILE_RECORDS,
-    }
-    with open(BENCH_TCL_COMPILE_PATH, "w") as handle:
-        json.dump(artifact, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    if _TCL_COMPILE_RECORDS:
+        artifact = {
+            "schema": "wafe-tcl-compile-bench/1",
+            "generated_unix": round(time.time(), 3),
+            "python": platform.python_version(),
+            "workloads": _TCL_COMPILE_RECORDS,
+        }
+        with open(BENCH_TCL_COMPILE_PATH, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if _XRM_RECORDS:
+        artifact = {
+            "schema": "wafe-xrm-bench/1",
+            "generated_unix": round(time.time(), 3),
+            "python": platform.python_version(),
+            "workloads": _XRM_RECORDS,
+        }
+        with open(BENCH_XRM_PATH, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 @pytest.fixture

@@ -189,7 +189,15 @@ def emit_reference(specs, source="spec"):
             lines.append("| `%s` | %s | %s | %s |"
                          % (command, item.c_name,
                             ", ".join(args) or "-", item.return_type))
-    lines.append("")
+    lines.extend([
+        "",
+        "Runtime introspection (handwritten, listed for completeness):",
+        "`info cachestats ?reset?` reports the Tcl parse/compile/expr",
+        "cache counters; `info xrmstats ?reset?` reports the",
+        "quark-interned Xrm resource machinery counters.  Both are",
+        "documented in docs/PERFORMANCE.md.",
+        "",
+    ])
     return "\n".join(lines)
 
 

@@ -75,16 +75,27 @@ def cmd_get_values(wafe, argv):
 
 
 def cmd_merge_resources(wafe, argv):
-    """Extend the resource database from within a script."""
+    """Extend the resource database from within a script.
+
+    Invalid specifiers (empty, or ending in a dangling ``.``/``*``)
+    add no entry; a wafelint-style advisory is reported for each so
+    the script author sees the typo instead of a silently-odd match.
+    """
     if len(argv) < 2:
         _wrong_args("mergeResources spec value ?spec value ...?")
     if len(argv) == 2:
-        wafe.app.merge_resources(argv[1])
+        for spec in wafe.app.merge_resources(argv[1]):
+            wafe.report_error(
+                'mergeResources: invalid resource specifier "%s" '
+                "(entry ignored)" % spec)
         return ""
     if len(argv) % 2 != 1:
         _wrong_args("mergeResources spec value ?spec value ...?")
     for i in range(1, len(argv), 2):
-        wafe.app.database.put(argv[i], argv[i + 1])
+        if not wafe.app.database.put(argv[i], argv[i + 1]):
+            wafe.report_error(
+                'mergeResources: invalid resource specifier "%s" '
+                "(entry ignored)" % argv[i])
     return ""
 
 

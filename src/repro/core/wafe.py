@@ -108,6 +108,31 @@ class Wafe:
         # The convenience alias pair the paper documents.
         self.interp.commands["sV"] = self.interp.commands["setValues"]
         self.interp.commands["gV"] = self.interp.commands["getValue"]
+        # ``info xrmstats`` rides the same plumbing as the built-in
+        # ``info cachestats``: counters for the quark-interned resource
+        # machinery (see docs/PERFORMANCE.md).
+        self.interp.info_extensions["xrmstats"] = self._info_xrmstats
+
+    def _info_xrmstats(self, interp, argv):
+        from repro.tcl.lists import list_to_string
+
+        if len(argv) == 3 and argv[2] == "reset":
+            self.app.database.reset_stats()
+            return ""
+        if len(argv) != 2:
+            raise TclError('wrong # args: should be "info xrmstats ?reset?"')
+        stats = self.app.database.stats()
+        return list_to_string([
+            "quarks", str(stats["quarks"]),
+            "entries", str(stats["entries"]),
+            "generation", str(stats["generation"]),
+            "generationBumps", str(stats["generation_bumps"]),
+            "searchListHits", str(stats["searchlist_hits"]),
+            "searchListMisses", str(stats["searchlist_misses"]),
+            "searchListHitRate", "%.4f" % stats["searchlist_hit_rate"],
+            "cachedSearchLists", str(stats["cached_search_lists"]),
+            "searches", str(stats["searches"]),
+        ])
 
     def _bind(self, func):
         def command(interp, argv, _func=func, _wafe=self):

@@ -115,6 +115,11 @@ def cmd_info(interp, argv):
         return ""
     if option == "script":
         return getattr(interp, "script_name", "")
+    # Embedder extensions (Wafe registers ``info xrmstats`` here, the
+    # Xrm counterpart of ``info cachestats``).
+    extension = getattr(interp, "info_extensions", {}).get(option)
+    if extension is not None:
+        return extension(interp, argv)
     raise TclError(
         'bad option "%s": should be args, body, cachestats, cmdcount, '
         "commands, default, exists, globals, level, library, locals, "

@@ -122,6 +122,9 @@ class Interp:
         # Output hook: ``puts``/``echo`` write through here so embedders
         # (the Wafe frontend) can redirect output to the backend pipe.
         self.write_output = None
+        # Extra ``info`` subcommands registered by embedders (Wafe adds
+        # ``info xrmstats`` next to the built-in ``info cachestats``).
+        self.info_extensions = {}
         if register_builtins:
             from repro.tcl import cmds_core, cmds_info, cmds_list, cmds_string
 

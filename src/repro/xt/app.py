@@ -15,7 +15,7 @@ from repro.tcl.errors import TclError
 from repro.xlib import xtypes
 from repro.xlib.display import open_display
 from repro.xt.converters import ConverterRegistry
-from repro.xt.xrm import XrmDatabase
+from repro.xt.xrm import XrmDatabase, quark
 
 
 class XtAppContext:
@@ -84,14 +84,59 @@ class XtAppContext:
         self.database.load_file(path)
 
     def merge_resources(self, text):
-        """The ``mergeResources`` command: extend the database."""
-        self.database.put_lines(text)
+        """The ``mergeResources`` command: extend the database.
+
+        Returns the rejected (invalid) specifier lines so callers can
+        report advisories.  The database generation bump invalidates
+        every memoised search list, so widgets created -- or resources
+        re-queried -- after the merge see the new entries.
+        """
+        return self.database.put_lines(text)
+
+    def widget_path_quarks(self, widget):
+        """The widget's interned name/class chains below the root.
+
+        Cached per instance; the root component is substituted with the
+        application name/class at query time (it can change via
+        ``-name`` after widgets exist), so it is *not* part of the
+        cached chain.
+        """
+        cached = widget._path_quarks
+        if cached is None:
+            parent = widget.parent
+            if parent is None:
+                cached = ((), ())
+            else:
+                names, classes = self.widget_path_quarks(parent)
+                cached = (names + (quark(widget.name),),
+                          classes + (widget.class_quark(),))
+            widget._path_quarks = cached
+        return cached
+
+    def resource_search_list(self, widget):
+        """The widget's Xrm search list (XrmQGetSearchList), cached on
+        the instance and revalidated against the database generation
+        and the application name."""
+        key = (self.database.generation, self.app_name)
+        cached = widget._xrm_search
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        names, classes = self.widget_path_quarks(widget)
+        slist = self.database.get_search_list(
+            (quark(self.app_name),) + names,
+            (quark(self.app_class),) + classes)
+        widget._xrm_search = (key, slist)
+        return slist
 
     def query_resource(self, widget, resource_name, resource_class):
+        if self.database.use_search_lists:
+            slist = self.resource_search_list(widget)
+            return self.database.search(slist, quark(resource_name),
+                                        quark(resource_class))
         names = [self.app_name] + widget.name_path()[1:] + [resource_name]
         classes = [self.app_class] + widget.class_path()[1:] + \
             [resource_class]
-        return self.database.query(names, classes)
+        return self.database.query_naive(names, classes)
 
     # ------------------------------------------------------------------
     # Actions

@@ -10,16 +10,27 @@ is how the paper's "42 resources on Label" number arises
 """
 
 
-class Resource:
-    """One resource declaration."""
+from repro.xt.xrm import quark
 
-    __slots__ = ("name", "class_", "type", "default")
+
+class Resource:
+    """One resource declaration.
+
+    The name and class are interned to Xrm quarks at declaration time,
+    so the per-widget resource loop hands integers straight to
+    :meth:`repro.xt.xrm.XrmDatabase.search` without re-hashing strings.
+    """
+
+    __slots__ = ("name", "class_", "type", "default",
+                 "name_quark", "class_quark")
 
     def __init__(self, name, class_, type, default=None):
         self.name = name
         self.class_ = class_
         self.type = type
         self.default = default
+        self.name_quark = quark(name)
+        self.class_quark = quark(class_)
 
     def __repr__(self):  # pragma: no cover
         return "Resource(%s:%s=%r)" % (self.name, self.type, self.default)

@@ -104,9 +104,40 @@ class Shell(Composite):
             self.resources["height"] = need_h
             self.window.configure(width=need_w, height=need_h)
 
+    def _apply_geometry_resource(self):
+        """Honour the ``geometry`` resource (``WxH``, ``+X+Y`` or
+        ``WxH+X+Y``) when the shell realizes.
+
+        Shells -- popup shells especially -- often realize long after
+        creation, so the value is re-queried through the search list,
+        which revalidates against the database generation: a
+        ``mergeResources`` issued between creation and realization
+        still positions the shell.
+        """
+        geometry = self.resources.get("geometry")
+        if geometry is None:
+            geometry = self.app.query_resource(self, "geometry", "Geometry")
+            if geometry is not None:
+                self.resources["geometry"] = geometry
+        if not geometry:
+            return
+        size, plus, offsets = geometry.partition("+")
+        try:
+            if size:
+                w_text, __, h_text = size.partition("x")
+                self.resources["width"] = int(w_text)
+                self.resources["height"] = int(h_text)
+            if plus:
+                x_text, __, y_text = offsets.partition("+")
+                self.resources["x"] = int(x_text)
+                self.resources["y"] = int(y_text)
+        except ValueError:
+            pass  # a malformed geometry resource is ignored, as in Xt
+
     def realize(self):
         # Shells size themselves around their child before realizing.
         if not self.realized:
+            self._apply_geometry_resource()
             width, height = self.preferred_size()
             self.resources["width"] = width
             self.resources["height"] = height

@@ -144,19 +144,40 @@ class Production:
         return len(self.specs) == 1 and self.specs[0].matches(event)
 
 
-class TranslationTable:
-    """An ordered list of productions plus the merge directive."""
+_NO_PRODUCTIONS = ()
 
-    __slots__ = ("productions", "directive", "source")
+
+class TranslationTable:
+    """An ordered list of productions plus the merge directive.
+
+    Dispatch is indexed: productions are bucketed by the event type of
+    their *first* spec (built lazily, since merge_tables constructs
+    fresh tables constantly), so per-event lookup touches only the
+    productions that could possibly start on this event instead of
+    linearly scanning every binding in the table.
+    """
+
+    __slots__ = ("productions", "directive", "source", "_by_type")
 
     def __init__(self, productions, directive="replace", source=""):
         self.productions = productions
         self.directive = directive
         self.source = source
+        self._by_type = None
+
+    def _index(self):
+        by_type = self._by_type
+        if by_type is None:
+            by_type = {}
+            for production in self.productions:
+                by_type.setdefault(production.specs[0].event_type,
+                                   []).append(production)
+            self._by_type = by_type
+        return by_type
 
     def lookup(self, event):
         """First matching single-event production's actions, or None."""
-        for production in self.productions:
+        for production in self._index().get(event.type, _NO_PRODUCTIONS):
             if production.matches(event):
                 return production.actions
         return None
@@ -165,13 +186,25 @@ class TranslationTable:
         """Sequence-aware lookup.
 
         ``progress`` maps ``id(production)`` to the index of the next
-        spec expected; the caller keeps one dict per widget.  Returns
-        the actions of the first production completed by this event.
-        Productions whose in-flight sequence is broken by the event
-        reset, as Xt's matcher does.
+        spec expected; the caller keeps one dict per widget, and only
+        nonzero positions are stored.  Returns the actions of the first
+        production completed by this event.  Productions whose
+        in-flight sequence is broken by the event reset, as Xt's
+        matcher does.
+
+        With no sequence in flight (the common case -- ``progress``
+        empty) only the productions indexed under this event type are
+        consulted; a production of another start type can neither fire
+        nor change state.  Once sequences are mid-flight every
+        production is scanned, because an unrelated event must reset
+        them.
         """
+        if progress:
+            candidates = self.productions
+        else:
+            candidates = self._index().get(event.type, _NO_PRODUCTIONS)
         fired = None
-        for production in self.productions:
+        for production in candidates:
             key = id(production)
             index = progress.get(key, 0)
             if index < len(production.specs) and \
@@ -185,7 +218,10 @@ class TranslationTable:
                 if fired is None:
                     fired = production.actions
                 index = 0
-            progress[key] = index
+            if index:
+                progress[key] = index
+            else:
+                progress.pop(key, None)
         return fired
 
     def __len__(self):

@@ -84,6 +84,15 @@ class Widget:
         return mapping
 
     @classmethod
+    def class_quark(cls):
+        """The interned Xrm quark of this widget class's name, cached
+        per class (the X11R5 per-class quark chain)."""
+        cached = cls.__dict__.get("_class_quark_cache")
+        if cached is None:
+            cached = cls._class_quark_cache = R.quark(cls.CLASS_NAME)
+        return cached
+
+    @classmethod
     def class_actions(cls):
         cached = cls.__dict__.get("_action_cache")
         if cached is not None:
@@ -122,6 +131,11 @@ class Widget:
         # XtInstallAccelerators: (table, source_widget) pairs consulted
         # when this widget's own translations don't match an event.
         self.accelerator_bindings = []
+        # Interned quark chains and the Xrm search list, both cached on
+        # the instance (the search list is revalidated against the
+        # database generation by XtAppContext.resource_search_list).
+        self._path_quarks = None
+        self._xrm_search = None
         if parent is not None:
             self.app = parent.app
             if self not in parent.children:
@@ -147,13 +161,24 @@ class Widget:
                 % (unknown[0], self.CLASS_NAME)
             )
         converters = self.app.converters
+        # Two-phase Xrm lookup: the search list is computed once for
+        # this widget's name/class quark chains; every resource below
+        # is then a cheap walk over it (XrmQGetSearchResource).
+        database = self.app.database
+        search_list = (self.app.resource_search_list(self)
+                       if database.use_search_lists else None)
         for resource in self.class_resources():
             if resource.name in args:
                 value = converters.convert(self, resource.type,
                                            args[resource.name])
             else:
-                from_db = self.app.query_resource(self, resource.name,
-                                                  resource.class_)
+                if search_list is not None:
+                    from_db = database.search(search_list,
+                                              resource.name_quark,
+                                              resource.class_quark)
+                else:
+                    from_db = self.app.query_resource(
+                        self, resource.name, resource.class_)
                 if from_db is not None:
                     value = converters.convert(self, resource.type, from_db)
                 else:
@@ -219,6 +244,9 @@ class Widget:
                 if name == "translations" and value is not None:
                     value = merge_tables(self.resources.get("translations"),
                                          value)
+                    # A fresh table invalidates in-flight sequences
+                    # (their productions no longer exist).
+                    self._translation_progress = {}
                 old[name] = self.resources.get(name)
                 self.resources[name] = value
                 changed.append(name)
