@@ -195,7 +195,13 @@ def emit_reference(specs, source="spec"):
         "`info cachestats ?reset?` reports the Tcl parse/compile/expr",
         "cache counters; `info xrmstats ?reset?` reports the",
         "quark-interned Xrm resource machinery counters.  Both are",
-        "documented in docs/PERFORMANCE.md.",
+        "documented in docs/PERFORMANCE.md.  `info evalstats ?reset?`",
+        "reports the fault-containment accounting (commands, peak",
+        "nesting, limit trips, firewall catches) and `info hidden",
+        "?pattern?` lists safe-mode-hidden commands; `evalLimit",
+        "?timeMs? ?commands?`, `recursionLimit ?limit?`, and `safeMode",
+        "?on?` configure the limits at runtime.  All are documented in",
+        "docs/ROBUSTNESS.md.",
         "",
     ])
     return "\n".join(lines)

@@ -13,6 +13,10 @@ program.  The mode is chosen the way the paper describes:
 ``--lint`` (file mode only) statically analyzes the script with
 wafelint before running it; diagnostics are advisory and go to the
 error channel.  ``python -m repro.lint`` runs the analyzer standalone.
+
+``--safe`` enables safe mode before any script or backend line is
+evaluated: the Safe-Tcl-style dangerous command set is hidden and
+cannot be restored from the script level (see ``repro.core.safemode``).
 """
 
 import sys
@@ -44,7 +48,7 @@ def split_arguments(argv):
                     raise SystemExit("wafe: option %s needs a value" % arg)
                 frontend[key] = argv[i + 1]
                 i += 2
-            elif key in ("interactive", "version", "help", "lint"):
+            elif key in ("interactive", "version", "help", "lint", "safe"):
                 frontend[key] = True
                 i += 1
             else:
@@ -87,7 +91,15 @@ def _main(build, argv=None):
         wafe.app.load_resource_file(options["resources"])
         # Re-apply -xrm entries so they keep their higher precedence.
         wafe._apply_xt_arguments(xt_args)
+    if options.get("safe"):
+        wafe.supervision.set("safe_mode", True)
     backend = options.get("app") or backend_for_invocation(invoked_as)
+    if options.get("f") or not backend:
+        # Frontend mode applies fault containment when the supervisor
+        # starts; file and interactive modes have no supervisor, so the
+        # limits / safe mode from resources and --safe are applied here.
+        wafe.supervision.load_resources(wafe.app, report=wafe.report_error)
+        wafe.apply_fault_containment()
     if options.get("f"):
         script = options["f"]
         run_file(wafe, script, lint=options.get("lint", False))

@@ -309,6 +309,58 @@ def cmd_channel_high_water(wafe, argv):
     return ""
 
 
+def cmd_eval_limit(wafe, argv):
+    """evalLimit ?timeMs? ?commands?: the eval watchdog budgets.
+
+    Each top-level evaluation (one backend line, one callback script)
+    may spend at most ``timeMs`` milliseconds of wall time and
+    ``commands`` work units (dispatched commands plus nested eval
+    entries); 0 disables either budget.  A trip unwinds the current
+    line with an uncatchable Tcl error and leaves the event loop live.
+    """
+    config = wafe.supervision
+    if len(argv) == 1:
+        return "%d %d" % (config.eval_time_ms, config.eval_commands)
+    if len(argv) > 3:
+        _wrong_args("evalLimit ?timeMs? ?commands?")
+    config.set("eval_time_ms", _int_arg(argv[1], "evalLimit timeMs"))
+    if len(argv) > 2:
+        config.set("eval_commands", _int_arg(argv[2], "evalLimit commands"))
+    wafe.interp.set_eval_limits(time_ms=config.eval_time_ms,
+                                commands=config.eval_commands)
+    return ""
+
+
+def cmd_recursion_limit(wafe, argv):
+    """recursionLimit ?limit?: the Tcl evaluation nesting ceiling."""
+    config = wafe.supervision
+    if len(argv) == 1:
+        return str(wafe.interp.recursion_limit)
+    if len(argv) != 2:
+        _wrong_args("recursionLimit ?limit?")
+    limit = _int_arg(argv[1], "recursionLimit")
+    if limit < 1:
+        raise TclError("recursionLimit must be at least 1")
+    config.set("recursion_limit", limit)
+    wafe.interp.set_recursion_limit(limit)
+    return ""
+
+
+def cmd_safe_mode(wafe, argv):
+    """safeMode ?on?: query or (irreversibly) enter safe mode."""
+    if len(argv) == 1:
+        return "1" if wafe.safe_mode else "0"
+    if len(argv) != 2:
+        _wrong_args("safeMode ?on?")
+    if argv[1].lower() in ("0", "off", "false", "no"):
+        if wafe.safe_mode:
+            raise TclError("safe mode cannot be disabled from a script")
+        return "0"
+    wafe.supervision.set("safe_mode", True)
+    wafe.enable_safe_mode()
+    return "1"
+
+
 def register(wafe):
     wafe.register_command("echo", cmd_echo)
     wafe.register_command("quit", cmd_quit)
@@ -335,3 +387,6 @@ def register(wafe):
     wafe.register_command("backendStatus", cmd_backend_status)
     wafe.register_command("massTransferTimeout", cmd_mass_transfer_timeout)
     wafe.register_command("channelHighWater", cmd_channel_high_water)
+    wafe.register_command("evalLimit", cmd_eval_limit)
+    wafe.register_command("recursionLimit", cmd_recursion_limit)
+    wafe.register_command("safeMode", cmd_safe_mode)

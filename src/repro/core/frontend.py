@@ -27,7 +27,7 @@ import subprocess
 import sys
 import time as _time
 
-from repro.tcl.errors import TclError
+from repro.tcl.errors import TclError, log_panic
 from repro.core.channel import (
     DEFAULT_MAX_LINE,
     DEFAULT_PREFIX,
@@ -158,7 +158,16 @@ class Frontend:
         for raw in lines:
             kind, line = self.parser.classify(raw)
             if kind == "command":
-                self.wafe.run_command_line(line)
+                # Last-resort firewall: a Python exception escaping one
+                # backend line must not tear down the reader (and with
+                # it the GUI); later lines in this read still run.
+                try:
+                    self.wafe.run_command_line(line)
+                except Exception as exc:  # noqa: BLE001
+                    summary = log_panic('backend line "%s"' % line[:80], exc)
+                    self.wafe.report_error(
+                        "internal error evaluating backend line (%s)"
+                        % summary)
             else:
                 self._passthrough(line)
         # Replies the commands queued go out as one write, promptly --

@@ -1,0 +1,66 @@
+"""Safe mode: the Safe-Tcl-style hidden command set.
+
+A Wafe frontend normally trusts its backend -- they are two halves of
+one application.  But the paper's model also invites *untrusted*
+backends (a remote computation service, a tool the user downloaded),
+and for those the command language must not double as an escape hatch.
+Safe mode follows Safe Tcl's design: rather than deleting dangerous
+commands, they are *hidden* -- removed from the dispatch table into a
+side table (:attr:`Interp.hidden_commands`), invisible to ``rename``
+and ``info commands``, invocable by nobody at the script level, but
+restorable by the embedding Python code.
+
+What gets hidden, and why:
+
+* ``source`` -- the only filesystem reader in the command set; a
+  hostile backend could read arbitrary files and ``echo`` them back.
+* ``getChannel`` / ``setCommunicationVariable`` -- the mass-transfer
+  escape hatches into frontend memory.
+* ``sendToApplication`` / ``setPrefix`` -- protocol-level escapes: a
+  script that can forge backend traffic or re-key the command prefix
+  can confuse the supervision machinery.
+* ``exec``-shaped process control (``restartPolicy``,
+  ``onBackendExit``) -- in safe mode the *user*, not the backend,
+  decides what gets (re)spawned; ``onBackendExit`` scripts run with
+  full trust after the backend dies, so letting the backend write them
+  is privilege escalation.
+* ``evalLimit`` / ``recursionLimit`` -- a backend that can raise or
+  disarm its own watchdog budgets defeats the point of running it
+  under limits.
+
+Enabling is one-way from the script's point of view: there is no Tcl
+command to expose a hidden command (``info hidden`` only lists them);
+only the embedder can call :meth:`Interp.expose_command`.
+"""
+
+#: Commands hidden when safe mode is enabled, with the reason each is
+#: considered dangerous (the linter surfaces these in W011 messages).
+SAFE_HIDDEN_COMMANDS = {
+    "source": "reads arbitrary files from the frontend's filesystem",
+    "getChannel": "exposes the mass-transfer file descriptor",
+    "setCommunicationVariable":
+        "streams raw channel data into frontend variables",
+    "sendToApplication": "forges protocol traffic to the backend",
+    "setPrefix": "re-keys the command prefix classification",
+    "restartPolicy": "controls what processes get (re)spawned",
+    "onBackendExit": "installs a fully-trusted exit hook script",
+    "evalLimit": "disarms the eval watchdog budgets",
+    "recursionLimit": "raises the nesting ceiling past the watchdog",
+}
+
+
+def enable_safe_mode(interp):
+    """Hide every dangerous command present in ``interp``.
+
+    Returns the names actually hidden (commands not registered in this
+    build are skipped -- a bare ``Interp()`` has only ``source``).
+    Idempotent: already-hidden names stay hidden.
+    """
+    hidden = []
+    for name in sorted(SAFE_HIDDEN_COMMANDS):
+        if name in interp.hidden_commands:
+            continue
+        if name in interp.commands:
+            interp.hide_command(name)
+            hidden.append(name)
+    return hidden

@@ -132,6 +132,15 @@ class SupervisionConfig:
          "int", 0),
         ("high_water", "channelHighWater", "ChannelHighWater", "int",
          1 << 20),
+        # Fault containment (docs/ROBUSTNESS.md "Interpreter fault
+        # containment"): eval watchdog budgets, the recursion ceiling,
+        # safe mode, and the panic log destination.
+        ("eval_time_ms", "evalTimeLimit", "EvalTimeLimit", "int", 0),
+        ("eval_commands", "evalCommandLimit", "EvalCommandLimit", "int", 0),
+        ("recursion_limit", "recursionLimit", "RecursionLimit", "int",
+         None),
+        ("safe_mode", "safeMode", "SafeMode", "bool", False),
+        ("panic_log", "panicLog", "PanicLog", "str", None),
     )
 
     def __init__(self):
@@ -147,6 +156,13 @@ class SupervisionConfig:
     def _parse(self, kind, text):
         if kind == "int":
             return int(text)
+        if kind == "bool":
+            lowered = text.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError('expected boolean but got "%s"' % text)
         if kind == "policy":
             if text not in POLICIES:
                 raise ValueError(
@@ -205,6 +221,9 @@ class BackendSupervisor:
         """Load resource-level policy and spawn the first backend."""
         self.config.load_resources(self.wafe.app,
                                    report=self.wafe.report_error)
+        # Limits and safe mode must be live before the first backend
+        # line is evaluated, not merely before the main loop.
+        self.wafe.apply_fault_containment()
         self._spawn()
         return self.frontend
 

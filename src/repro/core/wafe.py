@@ -79,7 +79,12 @@ class Wafe:
         self.supervision = _SupervisionConfig()  # shared policy knobs
         self.quit_requested = False
         self.error_sink = None     # callable(str) for reporting errors
+        self.safe_mode = False     # set by enable_safe_mode()
         self.interp.write_output = self._tcl_output
+        # The Xt-side of the Python-exception firewall: faults in
+        # timeout procs, input handlers, work procs, and action procs
+        # are routed here instead of unwinding through the main loop.
+        self.app.error_handler = self._xt_fault
         # The automatically created top level shell of every Wafe program.
         self.top_level = ApplicationShell("topLevel", None, app=self.app)
         self.widgets["topLevel"] = self.top_level
@@ -232,12 +237,15 @@ class Wafe:
         """Evaluate one line, reporting errors instead of raising.
 
         This is the tolerant entry point used for interactive input and
-        for command lines arriving from the backend application.
+        for command lines arriving from the backend application.  Any
+        TclError -- including watchdog limit trips and firewalled
+        Python exceptions -- is reported with its full errorInfo
+        traceback and the event loop stays live.
         """
         try:
             return self.run_script(line)
         except TclError as err:
-            self.report_error(str(err.result))
+            self.report_tcl_error(err)
             return None
 
     def report_error(self, message):
@@ -247,6 +255,72 @@ class Wafe:
             import sys
 
             sys.stderr.write("wafe: %s\n" % message)
+
+    def report_tcl_error(self, err):
+        """Report a TclError with its structured multi-line traceback.
+
+        The error sink (or stderr) receives the full errorInfo; an
+        attached backend additionally gets the traceback shipped down
+        the channel, one ``error: ``-prefixed line per frame, so the
+        application program can log or display what its command did
+        (the paper's contract: a bad line comes back as an error
+        string, never as a dead GUI).
+        """
+        info = err.errorinfo
+        text = info if info and info != err.result else str(err.result)
+        self.report_error(text)
+        if self.frontend is not None:
+            block = "".join("error: %s\n" % line
+                            for line in text.split("\n"))
+            self.frontend.send(block)
+
+    def _xt_fault(self, context, exc):
+        """The firewall's report hook for Xt-side faults.
+
+        A TclError here means a callback/action script failed -- report
+        it like any command-line error.  Anything else is a contained
+        Python exception whose traceback already went to the panic
+        log; surface the one-line summary.
+        """
+        if isinstance(exc, TclError):
+            self.report_tcl_error(exc)
+        else:
+            self.report_error(
+                "internal error in %s (%s: %s)"
+                % (context, type(exc).__name__, exc))
+
+    # ------------------------------------------------------------------
+    # Fault containment (limits, safe mode -- docs/ROBUSTNESS.md)
+
+    def apply_fault_containment(self):
+        """Push the supervision-config fault knobs into the runtime.
+
+        Called when a supervisor starts (after ``load_resources``) and
+        by the CLI for file/interactive modes, so ``evalTimeLimit``,
+        ``evalCommandLimit``, ``recursionLimit``, ``safeMode`` and
+        ``panicLog`` resources behave identically in every mode.
+        Explicit command-level settings have already won inside
+        :class:`SupervisionConfig`.
+        """
+        from repro.tcl import errors as _errors
+
+        config = self.supervision
+        self.interp.set_eval_limits(time_ms=config.eval_time_ms,
+                                    commands=config.eval_commands)
+        if config.recursion_limit:
+            self.interp.set_recursion_limit(config.recursion_limit)
+        if config.panic_log:
+            _errors.set_panic_log(config.panic_log)
+        if config.safe_mode:
+            self.enable_safe_mode()
+
+    def enable_safe_mode(self):
+        """Hide the Safe-Tcl command set from scripts (one-way)."""
+        from repro.core.safemode import enable_safe_mode
+
+        hidden = enable_safe_mode(self.interp)
+        self.safe_mode = True
+        return hidden
 
     def _convert_callback(self, widget, value):
         """The Callback converter: a Tcl command string becomes a

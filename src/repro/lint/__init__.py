@@ -26,16 +26,19 @@ from repro.lint.diagnostics import Diagnostic, ERROR, RULES, WARNING
 from repro.lint.knowledge import Knowledge, knowledge_for
 
 
-def check(source, filename="<script>", build="athena", extra_commands=()):
+def check(source, filename="<script>", build="athena", extra_commands=(),
+          safe_profile=False):
     """Statically analyze a Wafe/Tcl script; returns diagnostics.
 
     ``build`` selects which command surface the script is checked
     against (``athena``, ``motif``, or ``both``); ``extra_commands``
     names application-registered commands (``wafe.register_command``)
-    the script may legitimately call.
+    the script may legitimately call.  ``safe_profile`` additionally
+    flags commands the runtime hides under ``--safe`` (rule W011).
     """
     analyzer = Analyzer(knowledge_for(build), filename=filename,
-                        extra_commands=extra_commands)
+                        extra_commands=extra_commands,
+                        safe_profile=safe_profile)
     analyzer.collect(source)
     analyzer.analyze(source)
     return analyzer.diagnostics()

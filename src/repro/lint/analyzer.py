@@ -96,10 +96,13 @@ class Analyzer:
     chunks then share procs, widget classes, and extra commands.
     """
 
-    def __init__(self, knowledge, filename="<script>", extra_commands=()):
+    def __init__(self, knowledge, filename="<script>", extra_commands=(),
+                 safe_profile=False):
         self.kb = knowledge
         self.filename = filename
         self.extra_commands = set(extra_commands)
+        #: W011: flag commands the runtime hides under --safe.
+        self.safe_profile = safe_profile
         self.procs = {}
         #: widget name -> class name, seeded with the automatic shell.
         self.widgets = {"topLevel": "ApplicationShell"}
@@ -435,6 +438,13 @@ class Analyzer:
                     region, command.pos)
             return
         if name in self.extra_commands:
+            return
+        if self.safe_profile and name in self.kb.safe_hidden:
+            self._report(
+                "W011",
+                'command "%s" is hidden in safe mode (%s)'
+                % (name, self.kb.safe_hidden[name]),
+                region, command.pos)
             return
         if not self.kb.command_known(name):
             self._report("W001", 'unknown command "%s"' % name,

@@ -37,7 +37,7 @@ def iter_files(paths):
             yield path
 
 
-def lint_file(path, knowledge, extra_commands=()):
+def lint_file(path, knowledge, extra_commands=(), safe_profile=False):
     """All diagnostics for one file.  Chunks extracted from the file
     share one analyzer so a proc defined in an early ``run_script``
     call is known in a later one."""
@@ -45,7 +45,8 @@ def lint_file(path, knowledge, extra_commands=()):
         source = handle.read()
     chunks, harvested = extract_chunks(path, source)
     analyzer = Analyzer(knowledge, filename=path,
-                        extra_commands=set(extra_commands) | harvested)
+                        extra_commands=set(extra_commands) | harvested,
+                        safe_profile=safe_profile)
     for chunk in chunks:
         analyzer.collect(chunk.text, chunk.line, chunk.col)
     for chunk in chunks:
@@ -68,6 +69,9 @@ def main(argv=None):
     parser.add_argument("--extra-commands", default="", metavar="NAMES",
                         help="comma-separated application-registered "
                         "command names to accept")
+    parser.add_argument("--safe-profile", action="store_true",
+                        help="flag commands that are hidden when the "
+                        "frontend runs under --safe (rule W011)")
     args = parser.parse_args(argv)
 
     extra = tuple(name for name in args.extra_commands.split(",") if name)
@@ -78,7 +82,8 @@ def main(argv=None):
     for path in iter_files(args.paths):
         files += 1
         try:
-            diagnostics.extend(lint_file(path, knowledge, extra))
+            diagnostics.extend(lint_file(path, knowledge, extra,
+                                         safe_profile=args.safe_profile))
         except OSError as err:
             print("%s: %s" % (path, err.strerror or err), file=sys.stderr)
             status = 2

@@ -39,6 +39,9 @@ RULES = {
     "W010": ("unreachable-code",
              "command can never run (follows return/break/continue/"
              "error in the same block)"),
+    "W011": ("safe-mode-hidden",
+             "command is hidden in safe mode and will fail at runtime "
+             "under --safe (only checked with --safe-profile)"),
 }
 
 

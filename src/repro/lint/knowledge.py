@@ -11,6 +11,7 @@ spec or a class table changes, the linter follows automatically.
 from repro.codegen.registry import registry_for
 from repro.core import commands as _wafe_commands
 from repro.core.percent import ACTION_CODE_EVENTS, CALLBACK_CODES
+from repro.core.safemode import SAFE_HIDDEN_COMMANDS
 from repro.core.predefined import PREDEFINED_CALLBACKS
 from repro.tcl import Interp
 from repro.xt.resources import R_CALLBACK
@@ -80,6 +81,9 @@ class Knowledge:
             self.registries = (registry_for(build),)
         self.classes = _class_tables(build)
         self.predefined_callbacks = frozenset(PREDEFINED_CALLBACKS)
+        #: Commands hidden under --safe, with the reason each is
+        #: dangerous (the same table the runtime hides from).
+        self.safe_hidden = SAFE_HIDDEN_COMMANDS
         self.action_code_events = ACTION_CODE_EVENTS
         self.callback_codes = CALLBACK_CODES
         #: Union of every class's constraint resources, for attribute

@@ -1,6 +1,12 @@
 """Core Tcl commands: variables, control flow, procedures, errors."""
 
-from repro.tcl.errors import TclBreak, TclContinue, TclError, TclReturn
+from repro.tcl.errors import (
+    TclBreak,
+    TclContinue,
+    TclError,
+    TclLimitError,
+    TclReturn,
+)
 from repro.tcl.interp import split_varname
 from repro.tcl.lists import list_to_string, string_to_list
 
@@ -143,6 +149,11 @@ def cmd_catch(interp, argv):
     result = ""
     try:
         result = interp.eval(argv[1])
+    except TclLimitError:
+        # Resource-limit trips are not catchable: a hostile
+        # ``catch {while 1 {}}`` must not defeat the watchdog.  The
+        # error keeps unwinding to the top-level eval boundary.
+        raise
     except TclError as err:
         code, result = 1, err.result
     except TclReturn as ret:
@@ -157,13 +168,26 @@ def cmd_catch(interp, argv):
 
 
 def cmd_error(interp, argv):
+    """``error message ?errorInfo? ?errorCode?`` (Tcl semantics).
+
+    A non-empty *errorInfo* argument seeds the stack trace: it is used
+    as the initial errorInfo and the interpreter skips adding the
+    ``while executing`` frame for the ``error`` command itself (the
+    caller is re-raising a previously reported error).  *errorCode*
+    travels on the exception and lands in the ``errorCode`` global
+    when the error is recorded -- not eagerly, and never from the
+    wrong argument.
+    """
     if len(argv) < 2 or len(argv) > 4:
         _wrong_args("error message ?errorInfo? ?errorCode?")
     err = TclError(argv[1])
     if len(argv) > 2 and argv[2]:
         err.errorinfo = argv[2]
-    return_code = argv[3] if len(argv) > 3 else "NONE"
-    interp.set_var("errorCode", return_code, frame=interp.global_frame)
+        err.info_started = True
+        err.skip_frame = True
+        err.frames = 1
+    if len(argv) > 3:
+        err.errorcode = argv[3]
     raise err
 
 

@@ -107,6 +107,36 @@ def cmd_info(interp, argv):
                 "hitrate", "%.4f" % stats["hit_rate"],
             ]))
         return list_to_string(rows)
+    if option == "evalstats":
+        # ``info evalstats ?reset?``: the fault-containment counters --
+        # configured limits, watchdog/recursion trips, peak nesting,
+        # and Python-exception firewall catches (docs/ROBUSTNESS.md).
+        if len(argv) == 3 and argv[2] == "reset":
+            interp.reset_eval_stats()
+            return ""
+        if len(argv) != 2:
+            _wrong_args("info evalstats ?reset?")
+        stats = interp.eval_stats()
+        trips = stats["limit_trips"]
+        return list_to_string([
+            "commands", str(stats["cmd_count"]),
+            "recursionLimit", str(stats["recursion_limit"]),
+            "peakNesting", str(stats["peak_nesting"]),
+            "timeLimitMs", str(stats["time_limit_ms"]),
+            "commandLimit", str(stats["command_limit"]),
+            "commandTrips", str(trips["commands"]),
+            "timeTrips", str(trips["time"]),
+            "recursionTrips", str(trips["recursion"]),
+            "firewallCatches", str(stats["firewall_catches"]),
+            "hiddenCommands", str(stats["hidden_commands"]),
+        ])
+    if option == "hidden":
+        # Safe-Tcl introspection: the commands hidden from this
+        # interpreter (``interp hidden`` in real Tcl).
+        names = sorted(interp.hidden_commands)
+        if len(argv) == 3:
+            names = [n for n in names if glob_match(argv[2], n)]
+        return list_to_string(names)
     if option == "tclversion":
         return TCL_VERSION
     if option == "patchlevel":
@@ -122,8 +152,9 @@ def cmd_info(interp, argv):
         return extension(interp, argv)
     raise TclError(
         'bad option "%s": should be args, body, cachestats, cmdcount, '
-        "commands, default, exists, globals, level, library, locals, "
-        "patchlevel, procs, script, tclversion, or vars" % option
+        "commands, default, evalstats, exists, globals, hidden, level, "
+        "library, locals, patchlevel, procs, script, tclversion, or "
+        "vars" % option
     )
 
 

@@ -6,6 +6,12 @@ from repro.tcl.errors import TclError
 from repro.tcl.lists import list_to_string
 
 
+#: ``string repeat`` refuses to build results larger than this (64 MiB):
+#: part of the fault-containment layer -- a hostile backend must get a
+#: Tcl error back, not drive the frontend into the OOM killer.
+STRING_SIZE_LIMIT = 1 << 26
+
+
 def _wrong_args(usage):
     raise TclError('wrong # args: should be "%s"' % usage)
 
@@ -102,6 +108,22 @@ def cmd_string(interp, argv):
         if len(argv) != 3:
             _wrong_args("string length string")
         return str(len(argv[2]))
+    if option == "repeat":
+        if len(argv) != 4:
+            _wrong_args("string repeat string count")
+        try:
+            count = int(argv[3])
+        except ValueError:
+            raise TclError('expected integer but got "%s"' % argv[3])
+        if count <= 0:
+            return ""
+        # Containment: a runaway ``string repeat`` must fail as a Tcl
+        # error before it can exhaust process memory.
+        if len(argv[2]) * count > STRING_SIZE_LIMIT:
+            raise TclError(
+                "string size overflow: %d * %d exceeds %d bytes"
+                % (len(argv[2]), count, STRING_SIZE_LIMIT))
+        return argv[2] * count
     if option == "match":
         if len(argv) != 4:
             _wrong_args("string match pattern string")
@@ -156,8 +178,8 @@ def cmd_string(interp, argv):
         return str(start)
     raise TclError(
         'bad option "%s": should be compare, first, index, last, length, '
-        "match, range, tolower, toupper, trim, trimleft, trimright, "
-        "wordend, or wordstart" % option
+        "match, range, repeat, tolower, toupper, trim, trimleft, "
+        "trimright, wordend, or wordstart" % option
     )
 
 

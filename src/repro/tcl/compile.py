@@ -54,25 +54,29 @@ class _LiteralCommand:
     implementation that mutates its argv cannot corrupt the cache, and
     the command *name* is re-resolved inside ``call`` on every
     invocation -- redefinition and ``rename`` take effect immediately
-    even for cached scripts.
+    even for cached scripts.  ``line`` is the command's 1-based source
+    line, precomputed at compile time and handed to ``call`` for
+    errorInfo's ``(procedure ... line N)`` markers.
     """
 
-    __slots__ = ("argv",)
+    __slots__ = ("argv", "line")
 
-    def __init__(self, argv):
+    def __init__(self, argv, line=1):
         self.argv = argv  # tuple of str
+        self.line = line
 
     def execute(self, interp):
-        return interp.call(list(self.argv))
+        return interp.call(list(self.argv), self.line)
 
 
 class _DynamicCommand:
     """At least one word needs substitution: run the precomputed plan."""
 
-    __slots__ = ("plan",)
+    __slots__ = ("plan", "line")
 
-    def __init__(self, plan):
+    def __init__(self, plan, line=1):
         self.plan = plan  # tuple of (opcode, payload)
+        self.line = line
 
     def execute(self, interp):
         argv = []
@@ -92,16 +96,23 @@ class _DynamicCommand:
                 append(interp._substitute_parts(payload))
         if argv[0] == "":
             return ""
-        return interp.call(argv)
+        return interp.call(argv, self.line)
 
 
 class CompiledScript:
-    """An executable sequence of compiled commands."""
+    """An executable sequence of compiled commands.
 
-    __slots__ = ("commands",)
+    ``source`` keeps the original script text so errors that occur
+    before any command frame exists (substitution failures) can still
+    start their errorInfo from a script excerpt, matching uncompiled
+    evaluation.
+    """
 
-    def __init__(self, commands):
+    __slots__ = ("commands", "source")
+
+    def __init__(self, commands, source=""):
         self.commands = commands
+        self.source = source
 
     def execute(self, interp):
         result = ""
@@ -126,17 +137,32 @@ def _compile_word(word):
     return (OP_PARTS, parts)
 
 
-def compile_command(parsed):
+def compile_command(parsed, line=1):
     """Compile one :class:`~repro.tcl.parser.ParsedCommand`."""
     plan = tuple(_compile_word(word) for word in parsed.words)
     if all(op == OP_LITERAL for op, __ in plan):
         argv = tuple(payload for __, payload in plan)
         if argv[0] == "":
             return _NOOP
-        return _LiteralCommand(argv)
-    return _DynamicCommand(plan)
+        return _LiteralCommand(argv, line)
+    return _DynamicCommand(plan, line)
 
 
-def compile_script(parsed_commands):
-    """Compile a parsed script (list of commands) to executable form."""
-    return CompiledScript([compile_command(cmd) for cmd in parsed_commands])
+def compile_script(parsed_commands, source=""):
+    """Compile a parsed script (list of commands) to executable form.
+
+    Source lines for the commands are derived in one incremental pass
+    over ``source`` (commands arrive in ascending ``pos`` order), so
+    line accounting costs O(len(source)) total at compile time and
+    nothing at execution time.
+    """
+    compiled = []
+    line = 1
+    scan = 0
+    for cmd in parsed_commands:
+        pos = cmd.pos
+        if source and pos > scan:
+            line += source.count("\n", scan, pos)
+            scan = pos
+        compiled.append(compile_command(cmd, line))
+    return CompiledScript(compiled, source)

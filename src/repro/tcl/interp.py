@@ -7,12 +7,21 @@ like ``Tcl_CmdProc``.  Variables live in frames and may be scalars,
 associative arrays, or upvar links into another frame.
 """
 
+import sys as _sys
 import time as _time
 
 from repro.tcl import compile as _compile
 from repro.tcl import parser as _parser
 from repro.tcl.cache import LRUCache
-from repro.tcl.errors import TclBreak, TclContinue, TclError, TclReturn
+from repro.tcl.errors import (
+    ERRORINFO_FRAME_LIMIT,
+    TclBreak,
+    TclContinue,
+    TclError,
+    TclLimitError,
+    TclReturn,
+    log_panic,
+)
 from repro.tcl.expr import (
     ast_cache as _expr_ast_cache,
     compile_expr,
@@ -26,6 +35,36 @@ from repro.tcl.lists import quote_element
 _SCALAR = 0
 _ARRAY = 1
 _LINK = 2
+
+#: Tcl's ``interp recursionlimit`` default: the deepest the Tcl-level
+#: evaluation stack may grow before a clean "too many nested
+#: evaluations" error replaces what would otherwise be a Python
+#: RecursionError crash.
+DEFAULT_RECURSION_LIMIT = 1000
+
+#: Watchdog check granularity: the limit slow path runs every this
+#: many work units (dispatched commands + nested eval entries).
+_CHECK_INTERVAL = 64
+
+#: ``_next_check`` sentinel while the watchdog is disarmed: a command
+#: count no session will ever reach, so the hot-loop comparison stays
+#: false without a second attribute test.
+_NO_CHECK = 1 << 62
+
+#: Each Tcl nesting level costs ~7 Python frames (measured; eval ->
+#: execute -> call -> command -> ...), so the Python recursion limit
+#: must leave headroom above the Tcl limit for the TclError to be the
+#: one that fires.  Capped: past this the RecursionError backstop in
+#: ``eval`` still yields the same clean Tcl error.
+_PY_FRAMES_PER_NESTING = 8
+_PY_RECURSION_CAP = 200000
+
+
+def _ensure_python_stack(recursion_limit):
+    needed = min(recursion_limit * _PY_FRAMES_PER_NESTING + 200,
+                 _PY_RECURSION_CAP)
+    if _sys.getrecursionlimit() < needed:
+        _sys.setrecursionlimit(needed)
 
 
 class _Var:
@@ -117,8 +156,31 @@ class Interp:
         self.compile_cache = LRUCache(maxsize=512)
         self._expr_env = _ExprEnv(self)
         self.cmd_count = 0
-        self.max_nesting = 120
+        self.recursion_limit = DEFAULT_RECURSION_LIMIT
+        _ensure_python_stack(self.recursion_limit)
         self._nesting = 0
+        self._peak_nesting = 0
+        # The cooperative watchdog (Tcl's ``interp limit``): optional
+        # wall-time and command-count budgets per *top-level* eval
+        # (one backend line, one callback).  Armed when the outermost
+        # eval starts.  The hot-loop cost is one integer comparison,
+        # armed or not: ``call`` tests ``cmd_count >= _next_check``,
+        # where ``_next_check`` is a far-away sentinel while disarmed
+        # and the next 64-work-unit checkpoint while armed.  Budgets
+        # therefore have up to ``_CHECK_INTERVAL`` work units of
+        # slack; that is the price of <5% overhead.
+        self.limit_time_ms = 0      # 0: no wall-time budget
+        self.limit_commands = 0     # 0: no command-count budget
+        self._limits_armed = False
+        self._limit_deadline = None
+        self._limit_cmd_ceiling = None
+        self._next_check = _NO_CHECK
+        self._limit_trips = {"commands": 0, "time": 0, "recursion": 0}
+        # The Python-exception firewall counter (``info evalstats``).
+        self.firewall_catches = 0
+        # Safe mode (Safe Tcl): hidden commands are parked here, out of
+        # reach of scripts but restorable via :meth:`expose_command`.
+        self.hidden_commands = {}
         # Output hook: ``puts``/``echo`` write through here so embedders
         # (the Wafe frontend) can redirect output to the backend pipe.
         self.write_output = None
@@ -156,6 +218,32 @@ class Interp:
         self.commands[new] = self.commands.pop(old)
         if old in self.procs:
             self.procs[new] = self.procs.pop(old)
+
+    def hide_command(self, name):
+        """Safe-Tcl ``interp hide``: park a command out of script reach.
+
+        The command vanishes from the dispatch table (invoking it gives
+        ``invalid command name``, and ``rename``/``info commands`` no
+        longer see it) but its implementation is kept so a trusted
+        caller can :meth:`expose_command` it again.
+        """
+        func = self.commands.pop(name, None)
+        if func is None:
+            raise TclError(
+                'unknown command "%s": cannot hide' % name)
+        self.hidden_commands[name] = func
+
+    def expose_command(self, name):
+        """Safe-Tcl ``interp expose``: restore a hidden command."""
+        func = self.hidden_commands.get(name)
+        if func is None:
+            raise TclError('unknown hidden command "%s"' % name)
+        if name in self.commands:
+            raise TclError(
+                'exposed command "%s" would hide an existing command'
+                % name)
+        del self.hidden_commands[name]
+        self.commands[name] = func
 
     # ------------------------------------------------------------------
     # Frames and variables
@@ -425,61 +513,185 @@ class Interp:
         if compiled is None:
             compiled = self.compile_cache.put(
                 script,
-                _compile.compile_script(self.parse_cache.get(script)),
+                _compile.compile_script(self.parse_cache.get(script),
+                                        script),
             )
         return compiled
 
+    # -- eval limits ----------------------------------------------------
+
+    def set_recursion_limit(self, limit):
+        """``interp recursionlimit``: the Tcl nesting ceiling."""
+        if limit < 1:
+            raise TclError("recursion limit must be at least 1")
+        self.recursion_limit = limit
+        _ensure_python_stack(limit)
+
+    def set_eval_limits(self, time_ms=None, commands=None):
+        """Configure the watchdog budgets (0 disables either).
+
+        Budgets apply per top-level evaluation and take effect the
+        next time one starts; they are enforced with up to
+        ``_CHECK_INTERVAL`` work units of slack.
+        """
+        if time_ms is not None:
+            if time_ms < 0:
+                raise TclError("time limit must be non-negative")
+            self.limit_time_ms = time_ms
+        if commands is not None:
+            if commands < 0:
+                raise TclError("command limit must be non-negative")
+            self.limit_commands = commands
+
+    def _arm_limits(self):
+        # Arming runs per top-level eval, so it must stay cheap: the
+        # wall-clock deadline is a sentinel here and only becomes a
+        # real clock reading on the first slow-path check -- a short
+        # script that never reaches a check never pays for monotonic().
+        self._limit_deadline = -1.0 if self.limit_time_ms else None
+        self._limit_cmd_ceiling = (
+            self.cmd_count + self.limit_commands
+            if self.limit_commands else None)
+        self._next_check = self.cmd_count + _CHECK_INTERVAL
+        self._limits_armed = True
+
+    def _disarm_limits(self):
+        self._limits_armed = False
+        self._next_check = _NO_CHECK
+
+    def _check_limits(self, count):
+        """The slow path of the watchdog (reached every 64th work unit).
+
+        Work units are dispatched commands plus (armed) eval entries --
+        the eval entries matter because a hostile ``while 1 {}``
+        re-enters eval for its (empty) body every iteration without
+        dispatching a single command.
+        """
+        self._next_check = count + _CHECK_INTERVAL
+        ceiling = self._limit_cmd_ceiling
+        if ceiling is not None and count >= ceiling:
+            self._disarm_limits()
+            self._limit_trips["commands"] += 1
+            raise TclLimitError(
+                "command count limit exceeded (budget %d commands)"
+                % self.limit_commands, "commands")
+        deadline = self._limit_deadline
+        if deadline is not None:
+            if deadline < 0:
+                # First check since arming: start the clock now.
+                self._limit_deadline = (
+                    _time.monotonic() + self.limit_time_ms / 1000.0)
+            elif _time.monotonic() >= deadline:
+                self._disarm_limits()
+                self._limit_trips["time"] += 1
+                raise TclLimitError(
+                    "time limit exceeded (budget %d ms)"
+                    % self.limit_time_ms, "time")
+
+    def _recursion_error(self):
+        self._limit_trips["recursion"] += 1
+        return TclError("too many nested evaluations (infinite loop?)")
+
+    def _start_errorinfo(self, err, script):
+        """Errors with no command frame yet (substitution or parse
+        failures) start their traceback from the script excerpt."""
+        if not err.info_started:
+            excerpt = script[:150] if script else "<script>"
+            err.info_started = True
+            err.frames += 1
+            err.errorinfo = '%s\n    while executing\n"%s"' % (
+                err.errorinfo, excerpt)
+            self._set_error_globals(err)
+
     def eval(self, script):
         """Evaluate a script string, returning its result string."""
-        self._nesting += 1
-        if self._nesting > self.max_nesting:
-            self._nesting -= 1
-            raise TclError(
-                "too many nested calls to Tcl_Eval (infinite loop?)"
-            )
+        nesting = self._nesting
+        if nesting >= self.recursion_limit:
+            raise self._recursion_error()
+        if nesting == 0:
+            if self.limit_time_ms or self.limit_commands:
+                self._arm_limits()
+        elif self._limits_armed:
+            # Nested evals count as watchdog work units: an empty loop
+            # body re-enters eval every iteration without dispatching
+            # any command, and must still trip the budget.
+            count = self.cmd_count + 1
+            self.cmd_count = count
+            if count >= self._next_check:
+                self._check_limits(count)
+        if nesting >= self._peak_nesting:
+            self._peak_nesting = nesting + 1
+        self._nesting = nesting + 1
         try:
             if self.compile_enabled:
                 return self.compile_script(script).execute(self)
             result = ""
+            line = 1
+            scan = 0
             for command in self.parse_cache.get(script):
-                result = self._invoke(command)
+                pos = command.pos
+                if pos > scan:
+                    line += script.count("\n", scan, pos)
+                    scan = pos
+                result = self._invoke(command, line)
             return result
+        except TclError as err:
+            self._start_errorinfo(err, script)
+            raise
         except RecursionError:
-            raise TclError("too many nested calls to Tcl_Eval (infinite loop?)")
+            raise self._recursion_error()
         except TclReturn as ret:
             # ``return`` at the top level ends the script normally.
-            if self._nesting == 1:
+            if nesting == 0:
                 return ret.result
             raise
         except (TclBreak, TclContinue) as exc:
-            if self._nesting == 1:
+            if nesting == 0:
                 raise TclError(str(exc))
             raise
         finally:
-            self._nesting -= 1
+            self._nesting = nesting
+            if nesting == 0:
+                self._disarm_limits()
 
     def eval_compiled(self, compiled):
         """``eval`` for an already-compiled script (same guard rails)."""
-        self._nesting += 1
-        if self._nesting > self.max_nesting:
-            self._nesting -= 1
-            raise TclError(
-                "too many nested calls to Tcl_Eval (infinite loop?)"
-            )
+        nesting = self._nesting
+        if nesting >= self.recursion_limit:
+            raise self._recursion_error()
+        if nesting == 0:
+            if self.limit_time_ms or self.limit_commands:
+                self._arm_limits()
+        elif self._limits_armed:
+            # Nested evals count as watchdog work units: an empty loop
+            # body re-enters eval every iteration without dispatching
+            # any command, and must still trip the budget.
+            count = self.cmd_count + 1
+            self.cmd_count = count
+            if count >= self._next_check:
+                self._check_limits(count)
+        if nesting >= self._peak_nesting:
+            self._peak_nesting = nesting + 1
+        self._nesting = nesting + 1
         try:
             return compiled.execute(self)
+        except TclError as err:
+            self._start_errorinfo(err, getattr(compiled, "source", ""))
+            raise
         except RecursionError:
-            raise TclError("too many nested calls to Tcl_Eval (infinite loop?)")
+            raise self._recursion_error()
         except TclReturn as ret:
-            if self._nesting == 1:
+            if nesting == 0:
                 return ret.result
             raise
         except (TclBreak, TclContinue) as exc:
-            if self._nesting == 1:
+            if nesting == 0:
                 raise TclError(str(exc))
             raise
         finally:
-            self._nesting -= 1
+            self._nesting = nesting
+            if nesting == 0:
+                self._disarm_limits()
 
     def script_evaluator(self, script):
         """A zero-argument callable evaluating ``script`` each call.
@@ -502,31 +714,95 @@ class Interp:
 
         return run
 
-    def _invoke(self, parsed):
+    def _invoke(self, parsed, line=1):
         argv = [self.substitute_word(w) for w in parsed.words]
         if not argv or argv[0] == "":
             return ""
-        return self.call(argv)
+        return self.call(argv, line)
 
-    def call(self, argv):
-        """Invoke a command given an already-substituted argv."""
-        self.cmd_count += 1
+    def call(self, argv, line=None):
+        """Invoke a command given an already-substituted argv.
+
+        ``line`` is the 1-based source line of the command in the
+        script it came from (threaded by the compiled commands and the
+        uncompiled eval loop) and feeds the ``(procedure ... line N)``
+        errorInfo markers.
+        """
+        count = self.cmd_count + 1
+        self.cmd_count = count
+        if count >= self._next_check:
+            self._check_limits(count)
         func = self.commands.get(argv[0])
         if func is None:
-            unknown = self.commands.get("unknown")
-            if unknown is not None:
-                return unknown(self, ["unknown"] + argv)
-            raise TclError('invalid command name "%s"' % argv[0])
+            func = self.commands.get("unknown")
+            if func is None:
+                err = TclError('invalid command name "%s"' % argv[0])
+                self._record_error_frame(err, argv, line)
+                raise err
+            argv = ["unknown"] + argv
         try:
             result = func(self, argv)
         except TclError as err:
-            err.errorinfo = '%s\n    while executing\n"%s"' % (
-                err.errorinfo,
-                " ".join(argv)[:150],
-            )
-            self.global_frame.vars["errorInfo"] = _Var(_SCALAR, err.errorinfo)
+            self._record_error_frame(err, argv, line)
             raise
+        except (TclReturn, TclBreak, TclContinue):
+            raise
+        except RecursionError:
+            # Handled at the eval boundary (too many nested evaluations).
+            raise
+        except Exception as exc:
+            # The Python-exception firewall: an unexpected exception in
+            # a command implementation becomes a Tcl error carrying a
+            # one-line summary; the traceback goes to the panic log,
+            # never onto the protocol.
+            self.firewall_catches += 1
+            summary = log_panic('command "%s"' % argv[0], exc)
+            err = TclError(
+                'internal error in command "%s" (%s)' % (argv[0], summary))
+            self._record_error_frame(err, argv, line)
+            raise err from None
         return "" if result is None else result
+
+    def _record_error_frame(self, err, argv, line):
+        """Append one Tcl-style errorInfo frame while an error unwinds.
+
+        The innermost command contributes ``while executing``, each
+        enclosing command ``invoked from within``, exactly like Tcl's
+        Tcl_AddErrorInfo discipline; accumulation is capped so deep
+        recursions unwind in O(depth), not O(depth^2) string building.
+        """
+        err.proc_line = line
+        if err.skip_frame:
+            err.skip_frame = False
+        elif err.frames < ERRORINFO_FRAME_LIMIT:
+            err.frames += 1
+            text = " ".join(argv)[:150]
+            if err.info_started:
+                err.errorinfo = '%s\n    invoked from within\n"%s"' % (
+                    err.errorinfo, text)
+            else:
+                err.info_started = True
+                err.errorinfo = '%s\n    while executing\n"%s"' % (
+                    err.errorinfo, text)
+            if err.frames == ERRORINFO_FRAME_LIMIT:
+                err.errorinfo += "\n    (additional stack frames elided)"
+        self._set_error_globals(err)
+
+    def _set_error_globals(self, err):
+        """Maintain the ``errorInfo``/``errorCode`` globals (keeping any
+        traces attached to existing scalar variables)."""
+        gvars = self.global_frame.vars
+        var = gvars.get("errorInfo")
+        if var is not None and var.kind == _SCALAR:
+            var.value = err.errorinfo
+        else:
+            gvars["errorInfo"] = _Var(_SCALAR, err.errorinfo)
+        code = err.errorcode if err.errorcode is not None else "NONE"
+        var = gvars.get("errorCode")
+        if var is not None and var.kind == _SCALAR:
+            var.value = code
+        else:
+            gvars["errorCode"] = _Var(_SCALAR, code)
 
     def eval_expr_string(self, text):
         """Evaluate an expr string to its Tcl string result."""
@@ -606,6 +882,33 @@ class Interp:
         _expr_ast_cache.clear()
 
     # ------------------------------------------------------------------
+    # Fault-containment introspection (``info evalstats``)
+
+    def eval_stats(self):
+        """Counters for the fault-containment layer.
+
+        ``limit_trips`` counts watchdog/recursion-limit activations;
+        ``firewall_catches`` counts Python exceptions converted to Tcl
+        errors; ``peak_nesting`` is the deepest evaluation nesting seen
+        since the last reset.
+        """
+        return {
+            "cmd_count": self.cmd_count,
+            "recursion_limit": self.recursion_limit,
+            "peak_nesting": self._peak_nesting,
+            "time_limit_ms": self.limit_time_ms,
+            "command_limit": self.limit_commands,
+            "limit_trips": dict(self._limit_trips),
+            "firewall_catches": self.firewall_catches,
+            "hidden_commands": len(self.hidden_commands),
+        }
+
+    def reset_eval_stats(self):
+        self._peak_nesting = 0
+        self.firewall_catches = 0
+        self._limit_trips = {"commands": 0, "time": 0, "recursion": 0}
+
+    # ------------------------------------------------------------------
     # Procedures
 
     def define_proc(self, name, formals, body):
@@ -640,6 +943,11 @@ class Interp:
         self.frames.append(frame)
         try:
             return self.eval(proc.body)
+        except TclError as err:
+            if err.frames < ERRORINFO_FRAME_LIMIT:
+                err.errorinfo += '\n    (procedure "%s" line %d)' % (
+                    proc.name, err.proc_line or 1)
+            raise
         except TclReturn as ret:
             return ret.result
         except (TclBreak, TclContinue) as exc:

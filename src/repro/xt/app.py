@@ -11,7 +11,7 @@ commands interleave in one loop.
 import select
 import time as _time
 
-from repro.tcl.errors import TclError
+from repro.tcl.errors import TclError, log_panic
 from repro.xlib import xtypes
 from repro.xlib.display import open_display
 from repro.xt.converters import ConverterRegistry
@@ -39,6 +39,11 @@ class XtAppContext:
         self._quit = False
         self.event_count = 0
         self.dispatch_hook = None  # observe every dispatched event
+        # The Xt-side exception firewall: embedders install a
+        # handler(context, exc) here (Wafe routes Tcl errors to the
+        # backend).  Without one, contained exceptions go to the panic
+        # log -- never up through the event loop.
+        self.error_handler = None
 
     # ------------------------------------------------------------------
     # Displays / widgets
@@ -200,6 +205,22 @@ class XtAppContext:
     # ------------------------------------------------------------------
     # Event dispatch
 
+    def report_exception(self, context, exc):
+        """Contain an exception raised by a handler (callback, action,
+        timeout, input, work proc).  The event loop must survive any
+        single handler, so this never re-raises: the embedder's
+        ``error_handler`` gets first crack (Wafe ships Tcl errors to
+        the backend); failing that -- or if the handler itself raises
+        -- the panic log records the full traceback."""
+        handler = self.error_handler
+        if handler is not None:
+            try:
+                handler(context, exc)
+                return
+            except Exception:  # noqa: BLE001 -- the handler of last resort
+                pass
+        log_panic(context, exc)
+
     def pending(self):
         """XtAppPending-ish: X events queued right now."""
         return sum(d.pending() for d in self.displays)
@@ -256,7 +277,10 @@ class XtAppContext:
             if func is None:
                 # Xt warns about unbound actions; don't abort the list.
                 continue
-            func(target, event, args)
+            try:
+                func(target, event, args)
+            except Exception as exc:  # noqa: BLE001 -- firewall
+                self.report_exception('action "%s"' % name, exc)
         return True
 
     def process_pending(self, max_events=None):
@@ -279,7 +303,10 @@ class XtAppContext:
         fired = 0
         while self._timeouts and self._timeouts[0][0] <= now:
             __, __, func, args = self._timeouts.pop(0)
-            func(*args)
+            try:
+                func(*args)
+            except Exception as exc:  # noqa: BLE001 -- firewall
+                self.report_exception("timeout handler", exc)
             fired += 1
         return fired
 
@@ -307,11 +334,17 @@ class XtAppContext:
         fired = 0
         for input_id, (fd, func) in in_entries:
             if fd in readable and input_id in self._inputs:
-                func(fd)
+                try:
+                    func(fd)
+                except Exception as exc:  # noqa: BLE001 -- firewall
+                    self.report_exception("input handler", exc)
                 fired += 1
         for output_id, (fd, func) in out_entries:
             if fd in writable and output_id in self._outputs:
-                func(fd)
+                try:
+                    func(fd)
+                except Exception as exc:  # noqa: BLE001 -- firewall
+                    self.report_exception("output handler", exc)
                 fired += 1
         return fired
 
@@ -336,7 +369,14 @@ class XtAppContext:
             return True
         if self._work_procs:
             work_id, func = self._work_procs[0]
-            if func():
+            try:
+                done = func()
+            except Exception as exc:  # noqa: BLE001 -- firewall
+                # A broken work proc is removed, not retried: left in
+                # place it would raise again on every idle pass.
+                done = True
+                self.report_exception("work proc", exc)
+            if done:
                 self.remove_work_proc(work_id)
             return True
         return False

@@ -27,7 +27,20 @@ class CallbackList:
 
     def call(self, widget, call_data=None):
         for func in list(self._items):
-            func(widget, call_data)
+            try:
+                func(widget, call_data)
+            except Exception as exc:  # noqa: BLE001 -- firewall
+                # One broken callback must not starve the rest of the
+                # list or unwind the event loop.  XtCallCallbacks has
+                # no error channel; route through the app context's
+                # firewall when the widget is attached to one.
+                app = getattr(widget, "app", None)
+                if app is not None and hasattr(app, "report_exception"):
+                    app.report_exception(
+                        'callback on widget "%s"'
+                        % getattr(widget, "name", "?"), exc)
+                else:
+                    raise
 
     def __len__(self):
         return len(self._items)

@@ -355,7 +355,11 @@ class TestScriptErrorPaths:
             x, y = widget.window.absolute_origin()
             wafe.app.default_display.click(x + 2, y + 2)
             wafe.app.process_pending()
-        assert errors == ["boom"]
+        # The report now carries the full errorInfo traceback; the
+        # message proper is its first line.
+        assert len(errors) == 1
+        assert errors[0].split("\n")[0] == "boom"
+        assert "while executing" in errors[0]
         assert wafe.run_script("set ok") == "1"
 
     def test_error_in_exec_action_reported(self, wafe):

@@ -399,6 +399,44 @@ class TestAcceptance:
             assert text.count(code) >= 2, "rule %s lacks a test" % code
 
 
+class TestSafeProfile:
+    """W011: commands the runtime hides under --safe."""
+
+    def test_hidden_commands_flagged_with_reason(self):
+        diags = check("source helpers.wafe\nsetPrefix @\n",
+                      safe_profile=True)
+        assert codes(diags) == ["W011", "W011"]
+        assert "hidden in safe mode" in diags[0].message
+        assert "filesystem" in diags[0].message  # the reason, inline
+
+    def test_off_by_default(self):
+        assert check("source helpers.wafe\n") == []
+
+    def test_flags_match_the_runtime_hidden_set(self):
+        # The rule and the runtime hide from the same table: every
+        # entry is flagged, and a non-entry never is.
+        from repro.core.safemode import SAFE_HIDDEN_COMMANDS
+
+        script = "".join("%s x\n" % name
+                         for name in sorted(SAFE_HIDDEN_COMMANDS))
+        diags = [d for d in check(script, safe_profile=True)
+                 if d.code == "W011"]
+        assert len(diags) == len(SAFE_HIDDEN_COMMANDS)
+        assert all(d.code == "W011"
+                   for d in check("echo hi\n", safe_profile=True)) is True
+
+    def test_cli_safe_profile_flag(self, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        path = tmp_path / "app.wafe"
+        path.write_text("source helpers.wafe\n")
+        assert main([str(path)]) == 0
+        capsys.readouterr()
+        assert main(["--safe-profile", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "W011" in out
+
+
 class TestTermination:
     """The linter never executes scripts: hostile input finishes fast."""
 
@@ -558,7 +596,10 @@ class TestLintDocs:
             blocks = re.findall(r"^```\n(.*?)^```", body,
                                 flags=re.S | re.M)
             assert blocks, "rule %s has no example block" % code
-            diags = check("\n".join(blocks), build="both")
+            # safe_profile on: W011 is opt-in and its examples must
+            # fire too; it only ever adds diagnostics elsewhere.
+            diags = check("\n".join(blocks), build="both",
+                          safe_profile=True)
             assert code in codes(diags), \
                 "rule %s examples do not trigger it" % code
             documented.add(code)
