@@ -62,7 +62,7 @@ def xrm_record():
 def pytest_sessionfinish(session, exitstatus):
     if _TCL_COMPILE_RECORDS:
         artifact = {
-            "schema": "wafe-tcl-compile-bench/1",
+            "schema": "wafe-tcl-compile-bench/2",
             "generated_unix": round(time.time(), 3),
             "python": platform.python_version(),
             "workloads": _TCL_COMPILE_RECORDS,

@@ -192,9 +192,12 @@ def emit_reference(specs, source="spec"):
     lines.extend([
         "",
         "Runtime introspection (handwritten, listed for completeness):",
-        "`info cachestats ?reset?` reports the Tcl parse/compile/expr",
-        "cache counters; `info xrmstats ?reset?` reports the",
-        "quark-interned Xrm resource machinery counters.  Both are",
+        "`info cachestats ?reset?` reports the Tcl",
+        "parse/compile/bytecode/expr cache counters; `info bytecode`",
+        "reports the bytecode-VM engine, cache, and inline-cache",
+        "counters, and `info bytecode disassemble script` returns the",
+        "compiled listing for a script; `info xrmstats ?reset?` reports",
+        "the quark-interned Xrm resource machinery counters.  All are",
         "documented in docs/PERFORMANCE.md.  `info evalstats ?reset?`",
         "reports the fault-containment accounting (commands, peak",
         "nesting, limit trips, firewall catches) and `info hidden",

@@ -147,14 +147,18 @@ def cmd_info(interp, argv):
         return getattr(interp, "script_name", "")
     # Embedder extensions (Wafe registers ``info xrmstats`` here, the
     # Xrm counterpart of ``info cachestats``).
-    extension = getattr(interp, "info_extensions", {}).get(option)
+    extensions = getattr(interp, "info_extensions", {})
+    extension = extensions.get(option)
     if extension is not None:
         return extension(interp, argv)
+    options = sorted([
+        "args", "body", "cachestats", "cmdcount", "commands", "default",
+        "evalstats", "exists", "globals", "hidden", "level", "library",
+        "locals", "patchlevel", "procs", "script", "tclversion", "vars",
+    ] + list(extensions))
     raise TclError(
-        'bad option "%s": should be args, body, cachestats, cmdcount, '
-        "commands, default, evalstats, exists, globals, hidden, level, "
-        "library, locals, patchlevel, procs, script, tclversion, or "
-        "vars" % option
+        'bad option "%s": should be %s, or %s'
+        % (option, ", ".join(options[:-1]), options[-1])
     )
 
 

@@ -435,7 +435,7 @@ class _Evaluator:
                     out.append(self.env.eval_script(piece[1]))
             return "".join(out)
         if kind == "unary":
-            return self._unary(node[1], self.eval(node[2]))
+            return unary_op(node[1], self.eval(node[2]))
         if kind == "binary":
             return _binary(node[1], self.eval(node[2]), self.eval(node[3]))
         if kind == "andor":
@@ -452,40 +452,53 @@ class _Evaluator:
                 return self.eval(node[2])
             return self.eval(node[3])
         if kind == "func":
-            return self._call_func(node[1], [self.eval(a) for a in node[2]])
+            return call_math_func(node[1], [self.eval(a) for a in node[2]])
         raise TclError("internal expr error: bad node %r" % (kind,))
 
+    # Kept as methods for backward compatibility; the implementations
+    # are module-level so the bytecode VM shares the exact semantics
+    # (and error strings) with this tree walker.
     def _unary(self, op, operand):
-        if op == "-":
-            return -_num(operand)
-        if op == "+":
-            return _num(operand)
-        if op == "!":
-            return 0 if _truth(operand) else 1
-        number = _num(operand)
-        if isinstance(number, float):
-            raise TclError("can't use floating-point value as operand of \"~\"")
-        return ~number
+        return unary_op(op, operand)
 
     def _call_func(self, name, args):
-        spec = _MATH_FUNCS.get(name)
-        if spec is None:
-            raise TclError('unknown math function "%s"' % name)
-        arity, func = spec
-        if len(args) != arity:
-            raise TclError(
-                "too %s arguments for math function"
-                % ("few" if len(args) < arity else "many")
-            )
-        numeric = [_num(a) for a in args]
-        if name not in _INT_PRESERVING:
-            numeric = [float(a) for a in numeric]
-        try:
-            return func(*numeric)
-        except (ValueError, OverflowError):
-            raise TclError("domain error: argument not in valid range")
-        except ZeroDivisionError:
-            raise TclError("divide by zero")
+        return call_math_func(name, args)
+
+
+def unary_op(op, operand):
+    """Apply a unary expr operator exactly as the tree walker does."""
+    if op == "-":
+        return -_num(operand)
+    if op == "+":
+        return _num(operand)
+    if op == "!":
+        return 0 if _truth(operand) else 1
+    number = _num(operand)
+    if isinstance(number, float):
+        raise TclError("can't use floating-point value as operand of \"~\"")
+    return ~number
+
+
+def call_math_func(name, args):
+    """Invoke an expr math function with Tcl arity/domain errors."""
+    spec = _MATH_FUNCS.get(name)
+    if spec is None:
+        raise TclError('unknown math function "%s"' % name)
+    arity, func = spec
+    if len(args) != arity:
+        raise TclError(
+            "too %s arguments for math function"
+            % ("few" if len(args) < arity else "many")
+        )
+    numeric = [_num(a) for a in args]
+    if name not in _INT_PRESERVING:
+        numeric = [float(a) for a in numeric]
+    try:
+        return func(*numeric)
+    except (ValueError, OverflowError):
+        raise TclError("domain error: argument not in valid range")
+    except ZeroDivisionError:
+        raise TclError("divide by zero")
 
 
 def _num(value):

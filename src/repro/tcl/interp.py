@@ -12,6 +12,7 @@ import time as _time
 
 from repro.tcl import compile as _compile
 from repro.tcl import parser as _parser
+from repro.tcl import vm as _vm
 from repro.tcl.cache import LRUCache
 from repro.tcl.errors import (
     ERRORINFO_FRAME_LIMIT,
@@ -43,8 +44,11 @@ _LINK = 2
 DEFAULT_RECURSION_LIMIT = 1000
 
 #: Watchdog check granularity: the limit slow path runs every this
-#: many work units (dispatched commands + nested eval entries).
-_CHECK_INTERVAL = 64
+#: many work units (dispatched commands + nested eval entries).  Sized
+#: so the slow path (a monotonic-clock read plus ceiling compares)
+#: stays under the <5% armed-overhead budget even at bytecode-VM
+#: dispatch rates; budgets are enforced with up to this much slack.
+_CHECK_INTERVAL = 256
 
 #: ``_next_check`` sentinel while the watchdog is disarmed: a command
 #: count no session will ever reach, so the hot-loop comparison stays
@@ -68,12 +72,19 @@ def _ensure_python_stack(recursion_limit):
 
 
 class _Var:
-    __slots__ = ("kind", "value", "traces")
+    __slots__ = ("kind", "value", "traces", "num", "num_str")
 
     def __init__(self, kind, value):
         self.kind = kind
         self.value = value  # str | dict | (frame, name)
         self.traces = None  # list of _Trace, lazily created
+        # Numeric shadow for the bytecode VM's integer fast paths.
+        # Invariant: the shadow is meaningful only while ``num_str is
+        # value`` (object identity) -- any writer that replaces
+        # ``value`` invalidates it implicitly, so only the VM's trusted
+        # integer writers ever need to maintain these two fields.
+        self.num = None
+        self.num_str = None
 
 
 class _Trace:
@@ -149,11 +160,37 @@ class Interp:
         self.procs = {}
         self.frames = [CallFrame(0)]
         self.parse_cache = _parser.ParseCache()
+        # Three engines share one front door:
+        #   compile=True    -> "vm": bytecode with inline caches
+        #   compile="plans" -> "plans": PR-1 substitution plans
+        #   compile=False   -> "tree": the uncompiled executable spec
         # ``compile=False`` is the A/B escape hatch: evaluation falls
         # back to per-eval word substitution and uncached expr parsing,
-        # which is the reference semantics the compiled path must match.
-        self.compile_enabled = bool(compile)
+        # which is the reference semantics both compiled engines must
+        # match byte-for-byte.
+        if compile == "plans":
+            self.engine = "plans"
+        elif compile:
+            self.engine = "vm"
+        else:
+            self.engine = "tree"
+        self.compile_enabled = self.engine != "tree"
         self.compile_cache = LRUCache(maxsize=512)
+        self.bytecode_cache = LRUCache(maxsize=512)
+        # Inline-cache invalidation counters (see repro.tcl.vm): any
+        # command-table mutation bumps ``cmds_generation``; unset/upvar
+        # bump ``var_epoch``.  Cheap monotonic integers, bumped even
+        # when the VM is not in use.
+        self.cmds_generation = 0
+        self.var_epoch = 0
+        self._vm_stats = {
+            "scripts": 0, "inline_ops": 0, "generic_ops": 0, "deopts": 0,
+        }
+        # Integer handoff between an inlined ``expr`` and a consuming
+        # ``set`` (see repro.tcl.vm): valid only while ``_vm_num_str``
+        # is, by object identity, the string being stored.
+        self._vm_num = None
+        self._vm_num_str = None
         self._expr_env = _ExprEnv(self)
         self.cmd_count = 0
         self.recursion_limit = DEFAULT_RECURSION_LIMIT
@@ -166,7 +203,7 @@ class Interp:
         # eval starts.  The hot-loop cost is one integer comparison,
         # armed or not: ``call`` tests ``cmd_count >= _next_check``,
         # where ``_next_check`` is a far-away sentinel while disarmed
-        # and the next 64-work-unit checkpoint while armed.  Budgets
+        # and the next ``_CHECK_INTERVAL`` checkpoint while armed.  Budgets
         # therefore have up to ``_CHECK_INTERVAL`` work units of
         # slack; that is the price of <5% overhead.
         self.limit_time_ms = 0      # 0: no wall-time budget
@@ -174,6 +211,7 @@ class Interp:
         self._limits_armed = False
         self._limit_deadline = None
         self._limit_cmd_ceiling = None
+        self._limit_fresh = False
         self._next_check = _NO_CHECK
         self._limit_trips = {"commands": 0, "time": 0, "recursion": 0}
         # The Python-exception firewall counter (``info evalstats``).
@@ -186,7 +224,7 @@ class Interp:
         self.write_output = None
         # Extra ``info`` subcommands registered by embedders (Wafe adds
         # ``info xrmstats`` next to the built-in ``info cachestats``).
-        self.info_extensions = {}
+        self.info_extensions = {"bytecode": _vm.cmd_info_bytecode}
         if register_builtins:
             from repro.tcl import cmds_core, cmds_info, cmds_list, cmds_string
 
@@ -200,13 +238,16 @@ class Interp:
 
     def register(self, name, func):
         """Register a command: ``func(interp, argv) -> str``."""
+        self.cmds_generation += 1
         self.commands[name] = func
 
     def unregister(self, name):
+        self.cmds_generation += 1
         self.commands.pop(name, None)
         self.procs.pop(name, None)
 
     def rename(self, old, new):
+        self.cmds_generation += 1
         if old not in self.commands:
             raise TclError('can\'t rename "%s": command doesn\'t exist' % old)
         if new == "":
@@ -227,6 +268,7 @@ class Interp:
         longer see it) but its implementation is kept so a trusted
         caller can :meth:`expose_command` it again.
         """
+        self.cmds_generation += 1
         func = self.commands.pop(name, None)
         if func is None:
             raise TclError(
@@ -243,6 +285,7 @@ class Interp:
                 'exposed command "%s" would hide an existing command'
                 % name)
         del self.hidden_commands[name]
+        self.cmds_generation += 1
         self.commands[name] = func
 
     # ------------------------------------------------------------------
@@ -365,6 +408,11 @@ class Interp:
         self._fire_traces(var, name, index, "u")
         if index is None:
             del frame.vars[name]
+            # The var object is now orphaned: invalidate every VM cache
+            # cell (a later ``set`` creates a *new* object, which a
+            # stale cell would miss).  Element deletion keeps the var
+            # object, so it does not need the epoch bump.
+            self.var_epoch += 1
         else:
             if var.kind != _ARRAY or index not in var.value:
                 raise TclError(
@@ -429,6 +477,9 @@ class Interp:
 
     def link_var(self, local_name, target_frame, target_name):
         """Implement upvar/global: alias local_name to another frame's var."""
+        # A link can shadow or redirect any cached (frame, name)
+        # resolution, so it invalidates VM variable cells like unset.
+        self.var_epoch += 1
         self.current_frame.vars[local_name] = _Var(_LINK, (target_frame, target_name))
 
     def array_of(self, name, frame=None, create=False):
@@ -508,7 +559,21 @@ class Interp:
         object is immutable and resolves command names at call time, so
         holding on to it cannot observe stale ``proc``/``rename``
         state).  Only meaningful with compilation enabled.
+
+        Under the ``vm`` engine this returns a bytecode ``Code`` object
+        (whose inline ops self-check their command bindings per
+        execution); under ``plans`` it returns the PR-1
+        ``CompiledScript``.  Both expose ``execute(interp)``.
         """
+        if self.engine == "vm":
+            compiled = self.bytecode_cache.get(script)
+            if compiled is None:
+                compiled = self.bytecode_cache.put(
+                    script,
+                    _compile.compile_script_bytecode(
+                        self.parse_cache.get(script), script, self),
+                )
+            return compiled
         compiled = self.compile_cache.get(script)
         if compiled is None:
             compiled = self.compile_cache.put(
@@ -544,15 +609,15 @@ class Interp:
             self.limit_commands = commands
 
     def _arm_limits(self):
-        # Arming runs per top-level eval, so it must stay cheap: the
-        # wall-clock deadline is a sentinel here and only becomes a
-        # real clock reading on the first slow-path check -- a short
-        # script that never reaches a check never pays for monotonic().
-        self._limit_deadline = -1.0 if self.limit_time_ms else None
-        self._limit_cmd_ceiling = (
-            self.cmd_count + self.limit_commands
-            if self.limit_commands else None)
+        # Arming runs per top-level eval, so it must stay cheap (at
+        # bytecode-VM dispatch rates it is a measurable fraction of a
+        # short callback): three attribute writes.  The command ceiling
+        # and the wall-clock deadline are derived lazily on the first
+        # slow-path check -- the arm-time count is recoverable there as
+        # ``_next_check - _CHECK_INTERVAL``, and a short script that
+        # never reaches a check never pays for either.
         self._next_check = self.cmd_count + _CHECK_INTERVAL
+        self._limit_fresh = True
         self._limits_armed = True
 
     def _disarm_limits(self):
@@ -560,13 +625,25 @@ class Interp:
         self._next_check = _NO_CHECK
 
     def _check_limits(self, count):
-        """The slow path of the watchdog (reached every 64th work unit).
+        """The slow path of the watchdog (reached every
+        ``_CHECK_INTERVAL``-th work unit).
 
-        Work units are dispatched commands plus (armed) eval entries --
+        Work units are dispatched commands plus nested eval entries --
         the eval entries matter because a hostile ``while 1 {}``
         re-enters eval for its (empty) body every iteration without
-        dispatching a single command.
+        dispatching a single command.  Both are counted whether the
+        watchdog is armed or not, so arming changes nothing on the hot
+        path and ``info cmdcount`` is limit-independent.
         """
+        if self._limit_fresh:
+            # First check since arming: materialise the budgets from
+            # the arm-time count (deferred out of the arming hot path).
+            self._limit_fresh = False
+            base = self._next_check - _CHECK_INTERVAL
+            self._limit_cmd_ceiling = (
+                base + self.limit_commands
+                if self.limit_commands else None)
+            self._limit_deadline = -1.0 if self.limit_time_ms else None
         self._next_check = count + _CHECK_INTERVAL
         ceiling = self._limit_cmd_ceiling
         if ceiling is not None and count >= ceiling:
@@ -610,11 +687,20 @@ class Interp:
             raise self._recursion_error()
         if nesting == 0:
             if self.limit_time_ms or self.limit_commands:
-                self._arm_limits()
-        elif self._limits_armed:
+                # _arm_limits inlined: at bytecode-VM speeds a method
+                # call per top-level eval is measurable against the <5%
+                # armed-overhead budget.
+                self._next_check = self.cmd_count + _CHECK_INTERVAL
+                self._limit_fresh = True
+                self._limits_armed = True
+        else:
             # Nested evals count as watchdog work units: an empty loop
             # body re-enters eval every iteration without dispatching
-            # any command, and must still trip the budget.
+            # any command, and must still trip the budget.  The bump is
+            # unconditional (armed or not) so the armed hot path costs
+            # only the amortised slow-path check, and ``info cmdcount``
+            # is identical either way; unarmed, ``_next_check`` is the
+            # never-reached sentinel, so the compare never fires.
             count = self.cmd_count + 1
             self.cmd_count = count
             if count >= self._next_check:
@@ -652,7 +738,8 @@ class Interp:
         finally:
             self._nesting = nesting
             if nesting == 0:
-                self._disarm_limits()
+                self._limits_armed = False
+                self._next_check = _NO_CHECK
 
     def eval_compiled(self, compiled):
         """``eval`` for an already-compiled script (same guard rails)."""
@@ -661,11 +748,20 @@ class Interp:
             raise self._recursion_error()
         if nesting == 0:
             if self.limit_time_ms or self.limit_commands:
-                self._arm_limits()
-        elif self._limits_armed:
+                # _arm_limits inlined: at bytecode-VM speeds a method
+                # call per top-level eval is measurable against the <5%
+                # armed-overhead budget.
+                self._next_check = self.cmd_count + _CHECK_INTERVAL
+                self._limit_fresh = True
+                self._limits_armed = True
+        else:
             # Nested evals count as watchdog work units: an empty loop
             # body re-enters eval every iteration without dispatching
-            # any command, and must still trip the budget.
+            # any command, and must still trip the budget.  The bump is
+            # unconditional (armed or not) so the armed hot path costs
+            # only the amortised slow-path check, and ``info cmdcount``
+            # is identical either way; unarmed, ``_next_check`` is the
+            # never-reached sentinel, so the compare never fires.
             count = self.cmd_count + 1
             self.cmd_count = count
             if count >= self._next_check:
@@ -691,7 +787,8 @@ class Interp:
         finally:
             self._nesting = nesting
             if nesting == 0:
-                self._disarm_limits()
+                self._limits_armed = False
+                self._next_check = _NO_CHECK
 
     def script_evaluator(self, script):
         """A zero-argument callable evaluating ``script`` each call.
@@ -775,18 +872,35 @@ class Interp:
         if err.skip_frame:
             err.skip_frame = False
         elif err.frames < ERRORINFO_FRAME_LIMIT:
-            err.frames += 1
-            text = " ".join(argv)[:150]
-            if err.info_started:
-                err.errorinfo = '%s\n    invoked from within\n"%s"' % (
-                    err.errorinfo, text)
-            else:
-                err.info_started = True
-                err.errorinfo = '%s\n    while executing\n"%s"' % (
-                    err.errorinfo, text)
-            if err.frames == ERRORINFO_FRAME_LIMIT:
-                err.errorinfo += "\n    (additional stack frames elided)"
+            self._append_error_frame(err, " ".join(argv)[:150])
         self._set_error_globals(err)
+
+    def _record_error_frame_text(self, err, text, line):
+        """Like :meth:`_record_error_frame` for a precomputed frame text.
+
+        The bytecode VM's inlined statements know their substituted
+        command text without materialising an argv list; this variant
+        keeps the frame discipline (skip_frame, the frame cap, the
+        elision marker, errorInfo/errorCode globals) byte-identical.
+        """
+        err.proc_line = line
+        if err.skip_frame:
+            err.skip_frame = False
+        elif err.frames < ERRORINFO_FRAME_LIMIT:
+            self._append_error_frame(err, text)
+        self._set_error_globals(err)
+
+    def _append_error_frame(self, err, text):
+        err.frames += 1
+        if err.info_started:
+            err.errorinfo = '%s\n    invoked from within\n"%s"' % (
+                err.errorinfo, text)
+        else:
+            err.info_started = True
+            err.errorinfo = '%s\n    while executing\n"%s"' % (
+                err.errorinfo, text)
+        if err.frames == ERRORINFO_FRAME_LIMIT:
+            err.errorinfo += "\n    (additional stack frames elided)"
 
     def _set_error_globals(self, err):
         """Maintain the ``errorInfo``/``errorCode`` globals (keeping any
@@ -861,24 +975,28 @@ class Interp:
     def cache_stats(self):
         """Hit/miss/eviction counters for every evaluation cache.
 
-        ``parse`` and ``compile`` are per-interpreter; ``expr`` is the
-        process-wide AST cache shared by all interpreters.
+        ``parse``, ``compile`` and ``bytecode`` are per-interpreter;
+        ``expr`` is the process-wide AST cache shared by all
+        interpreters.
         """
         return {
             "parse": self.parse_cache.stats(),
             "compile": self.compile_cache.stats(),
+            "bytecode": self.bytecode_cache.stats(),
             "expr": _expr_ast_cache.stats(),
         }
 
     def reset_cache_stats(self):
         self.parse_cache.reset_stats()
         self.compile_cache.reset_stats()
+        self.bytecode_cache.reset_stats()
         _expr_ast_cache.reset_stats()
 
     def clear_caches(self):
         """Drop all cached parses/compiles (the expr cache is global)."""
         self.parse_cache.clear()
         self.compile_cache.clear()
+        self.bytecode_cache.clear()
         _expr_ast_cache.clear()
 
     # ------------------------------------------------------------------
@@ -912,6 +1030,7 @@ class Interp:
     # Procedures
 
     def define_proc(self, name, formals, body):
+        self.cmds_generation += 1
         self.procs[name] = Proc(name, formals, body)
         self.commands[name] = _call_proc
 

@@ -162,6 +162,28 @@ class TestEquivalence:
         interp.eval("set x 1")
         interp.eval("set x 1")
         assert len(interp.compile_cache) == 0
+        assert len(interp.bytecode_cache) == 0
+
+    def test_escape_hatch_bypasses_expr_ast_cache(self):
+        # ``compile=False`` must be a *full* escape hatch: expr strings
+        # are reparsed on every evaluation, never served from the
+        # process-wide AST cache.
+        interp = Interp(compile=False)
+        tcl_expr.ast_cache.reset_stats()
+        interp.eval("expr {5 + [string length abcdef]}")
+        interp.eval("expr {5 + [string length abcdef]}")
+        stats = tcl_expr.ast_cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_cachestats_reset_clears_bytecode_counters(self):
+        interp = Interp()
+        script = "set hatch 3"
+        interp.eval(script)
+        interp.eval(script)
+        assert interp.cache_stats()["bytecode"]["hits"] >= 1
+        interp.eval("info cachestats reset")
+        stats = interp.cache_stats()["bytecode"]
+        assert stats["hits"] == 0 and stats["misses"] == 0
 
 
 # ----------------------------------------------------------------------
@@ -199,6 +221,17 @@ class TestCacheStats:
         interp.eval("info cachestats reset")
         script = "set y 42"
         interp.eval(script)
+        before = interp.cache_stats()["bytecode"]
+        interp.eval(script)
+        interp.eval(script)
+        after = interp.cache_stats()["bytecode"]
+        assert after["hits"] >= before["hits"] + 2
+
+    def test_plan_counters_move_on_repeat_eval(self):
+        interp = Interp(compile="plans")
+        interp.eval("info cachestats reset")
+        script = "set y 42"
+        interp.eval(script)
         before = interp.cache_stats()["compile"]
         interp.eval(script)
         interp.eval(script)
@@ -212,7 +245,7 @@ class TestCacheStats:
         report = string_to_list(interp.eval("info cachestats"))
         assert len(report) % 2 == 0
         names = report[0::2]
-        assert {"parse", "compile", "expr"} <= set(names)
+        assert {"parse", "compile", "bytecode", "expr"} <= set(names)
         fields = string_to_list(report[names.index("compile") * 2 + 1])
         assert "hits" in fields and "evictions" in fields
 
@@ -223,9 +256,13 @@ class TestCacheStats:
         interp.eval("info cachestats reset")
         stats = interp.cache_stats()["compile"]
         assert stats["hits"] == 0 and stats["misses"] == 0
+        stats = interp.cache_stats()["bytecode"]
+        assert stats["hits"] == 0 and stats["misses"] == 0
 
     def test_expr_cache_hits(self):
-        interp = Interp()
+        # The VM engine lowers expr to its own bytecode; the process-wide
+        # AST cache is the caching layer of the plans engine.
+        interp = Interp(compile="plans")
         tcl_expr.ast_cache.reset_stats()
         interp.eval("expr {21 * 2}")
         interp.eval("expr {21 * 2}")
@@ -234,9 +271,9 @@ class TestCacheStats:
     def test_clear_caches(self):
         interp = Interp()
         interp.eval("set q 9")
-        assert len(interp.compile_cache) > 0
+        assert len(interp.bytecode_cache) > 0
         interp.clear_caches()
-        assert len(interp.compile_cache) == 0
+        assert len(interp.bytecode_cache) == 0
         assert len(interp.parse_cache) == 0
         assert interp.eval("set q") == "9"
 

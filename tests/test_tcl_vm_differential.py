@@ -1,0 +1,327 @@
+"""Differential fuzzing: the bytecode VM against the executable spec.
+
+The tree-walker (``Interp(compile=False)``) is the reference semantics;
+the plan engine (``compile="plans"``) and the bytecode VM
+(``compile=True``) must be observationally identical to it -- same
+results, same error messages, byte-identical ``errorInfo`` tracebacks,
+same ``errorCode``, the same work-unit accounting (``info cmdcount``,
+watchdog command-budget trips), and all of that on both the cold and
+the cached evaluation of every script.
+
+Three corpora drive the comparison: the hand-written equivalence
+scripts shared with ``test_tcl_compile``, the hostile corpus distilled
+from the fault-containment suite, and a seeded random script generator
+that leans on the constructs the VM inlines (set/incr/expr/if/while/
+for/foreach) plus the hazards that force its deoptimisation paths.
+"""
+
+import random
+
+import pytest
+
+from repro.tcl import Interp
+from repro.tcl.errors import TclError, TclLimitError
+
+from tests.test_tcl_compile import EQUIVALENCE_SCRIPTS
+
+ENGINES = (False, "plans", True)  # reference first: it defines truth
+ENGINE_IDS = ("tree", "plans", "vm")
+
+
+def snapshot(engine, script, rounds=2, commands=None, prelude=None):
+    """Run ``script`` ``rounds`` times; capture every observable.
+
+    Round 2 exercises the cached/compiled path, which is where inline
+    caches (and their invalidation bugs) live.
+    """
+    interp = Interp(compile=engine)
+    if prelude:
+        interp.eval(prelude)
+    if commands:
+        interp.set_eval_limits(commands=commands)
+    observed = []
+    for __ in range(rounds):
+        try:
+            observed.append(("ok", interp.eval(script)))
+        except TclLimitError as err:
+            observed.append(("limit", err.limit))
+        except TclError as err:
+            observed.append(("error", str(err.result)))
+    for global_name in ("errorInfo", "errorCode"):
+        try:
+            observed.append((global_name,
+                             interp.eval("set %s" % global_name)))
+        except TclError:
+            observed.append((global_name, None))
+    observed.append(("cmdcount", interp.eval("info cmdcount")))
+    observed.append(("trips", interp.eval_stats()["limit_trips"]))
+    return observed
+
+
+def assert_engines_agree(script, **kwargs):
+    reference = snapshot(False, script, **kwargs)
+    for engine, label in ((True, "vm"), ("plans", "plans")):
+        assert snapshot(engine, script, **kwargs) == reference, (
+            "engine %r diverged from the tree-walker on:\n%s"
+            % (label, script))
+    return reference
+
+
+# ----------------------------------------------------------------------
+# Corpus 1: the equivalence scripts (results + accounting)
+
+
+class TestEquivalenceCorpus:
+    @pytest.mark.parametrize("script", EQUIVALENCE_SCRIPTS)
+    def test_engines_agree(self, script):
+        assert_engines_agree(script)
+
+
+# ----------------------------------------------------------------------
+# Corpus 2: the hostile corpus (errors, tracebacks, budgets)
+
+
+HOSTILE_SCRIPTS = [
+    # Errors inside every construct the VM inlines.
+    "unknowncmd a b",
+    "set",
+    "set a b c d",
+    "incr missing",
+    "set x notanumber\nincr x",
+    "incr x notanumber",
+    "expr {1 +}",
+    "expr {1 / 0}",
+    "expr {$undefinedvar + 1}",
+    "if {1 +} {set x 1}",
+    "if {1} {error inside-then} else {set x 2}",
+    "if {0} {set x 1} else {error inside-else}",
+    "if {1} {x} else",          # malformed tail never reached
+    "if {0} {x} else",          # malformed tail reached: must error
+    "while {$i <} {incr i}",
+    "set i 0\nwhile {$i < 3} {incr i\nerror loop-body}",
+    "for {set i 0} {$i <} {incr i} {set x 1}",
+    "for {set i 0} {$i < 3} {incr i} {error for-body}",
+    "for {set i 0} {$i < 3} {error for-next} {set x 1}",
+    "foreach x {a b} {error foreach-body}",
+    "foreach x {bad {list} {{} {}} {incr}} {set y $x}",
+    'foreach x "un {balanced" {set y $x}',
+    "proc p {} {error deep}\np",
+    "proc outer {} {inner}\nproc inner {} {error deep}\nouter",
+    "catch {error caught} msg\nset msg",
+    "error msg myinfo mycode",
+    # Nested bodies with errors at different depths.
+    "for {set i 0} {$i < 4} {incr i} {\n"
+    "  if {$i == 2} {\n"
+    "    while {1} {error nested-deep}\n"
+    "  }\n"
+    "}",
+    # break/continue misuse at top level.
+    "break",
+    "continue",
+    # Variable hazards: traces, arrays vs scalars, unset mid-loop.
+    'set a(k) v\nset a "scalar"',
+    "set s scalar\nset s(k) v",
+    "set i 0\nwhile {$i < 5} {incr i\nif {$i == 3} {unset i}}",
+    "for {set i 0} {$i < 5} {incr i} {if {$i == 2} {unset i}}",
+]
+
+
+class TestHostileCorpus:
+    @pytest.mark.parametrize("script", HOSTILE_SCRIPTS)
+    def test_engines_agree(self, script):
+        assert_engines_agree(script)
+
+    @pytest.mark.parametrize("script, budget", [
+        ("while 1 {}", 500),
+        ("set x 0\nwhile 1 {incr x}", 500),
+        ("set x 0\nfor {set i 0} {1} {incr i} {incr x}", 500),
+        ("catch {while 1 {}}", 400),
+        ("proc spin {} {while 1 {}}\nspin", 300),
+        ("set s 0\nfor {set i 0} {$i < 100000} {incr i} {incr s $i}",
+         777),
+    ])
+    def test_command_budget_trips_identically(self, script, budget):
+        # The watchdog counts work units (commands + nested eval
+        # entries); the VM must account exactly like the tree-walker,
+        # so the trip fires after the same unit -- observable through
+        # identical `info cmdcount` and the loop counter left behind.
+        assert_engines_agree(script, commands=budget)
+
+    def test_traces_observe_identical_sequences(self):
+        script = (
+            "set log {}\n"
+            "proc tracer {name index op} {global log\n"
+            "  lappend log $name/$op}\n"
+            "trace variable watched rwu tracer\n"
+            "for {set i 0} {$i < 3} {incr i} {\n"
+            "  set watched $i\n"
+            "  set copy $watched\n"
+            "}\n"
+            "unset watched\n"
+            "set log"
+        )
+        assert_engines_agree(script)
+
+
+# ----------------------------------------------------------------------
+# Corpus 3: mid-flight command-table and variable mutations
+# (the inline-cache invalidation paths)
+
+
+class TestMidFlightMutation:
+    def test_rename_between_cached_evals(self):
+        prelude = "proc shadowed {} {return original}"
+        script = (
+            "set r [shadowed]\n"
+            "rename shadowed {}\n"
+            "proc shadowed {} {return redefined}\n"
+            "set r2 [shadowed]\n"
+            "proc shadowed {} {return original}\n"
+            "list $r $r2"
+        )
+        assert_engines_agree(script, prelude=prelude, rounds=3)
+
+    def test_set_renamed_away_mid_script(self):
+        # `set` disappears between the first and second statement: the
+        # VM's inlined OP_SET must notice via its generation check.
+        script = (
+            "set a 1\n"
+            "rename set assign\n"
+            "catch {set b 2} msg\n"
+            "assign restored 3\n"
+            "rename assign set\n"
+            "list $a $msg $restored"
+        )
+        assert_engines_agree(script, rounds=3)
+
+    def test_proc_shadows_builtin_incr(self):
+        script = (
+            "set n 0\n"
+            "incr n\n"
+            "rename incr _incr\n"
+            "proc incr {name} {upvar $name v; set v shadowed}\n"
+            "incr n\n"
+            "rename incr {}\n"
+            "rename _incr incr\n"
+            "set n"
+        )
+        assert_engines_agree(script, rounds=3)
+
+    def test_hidden_command_fails_identically(self):
+        interps = [Interp(compile=e) for e in ENGINES]
+        outcomes = []
+        for interp in interps:
+            interp.eval("set x 1")           # warm caches on `set`
+            interp.hide_command("set")
+            try:
+                interp.eval("set x 2")
+                outcomes.append(("ok",))
+            except TclError as err:
+                outcomes.append(("error", str(err.result),
+                                 interp.eval("info cmdcount")))
+            interp.expose_command("set")
+            outcomes.append(("after", interp.eval("set x")))
+        assert outcomes[0::2] == [outcomes[0]] * len(interps)
+        assert outcomes[1::2] == [outcomes[1]] * len(interps)
+        assert "invalid command name" in outcomes[0][1]
+
+    def test_upvar_links_invalidate_cached_slots(self):
+        script = (
+            "proc bump {} {upvar 1 n v\nincr v}\n"
+            "set n 0\n"
+            "for {set i 0} {$i < 5} {incr i} {bump}\n"
+            "set n"
+        )
+        assert_engines_agree(script)
+
+    def test_unset_then_reset_in_cached_loop(self):
+        script = (
+            "set total 0\n"
+            "for {set i 0} {$i < 6} {incr i} {\n"
+            "  unset total\n"
+            "  set total $i\n"
+            "}\n"
+            "set total"
+        )
+        assert_engines_agree(script)
+
+
+# ----------------------------------------------------------------------
+# Corpus 4: seeded random scripts
+
+
+_VARS = ["a", "b", "c", "d"]
+
+
+def _gen_expr(rng, depth=0):
+    if depth > 2 or rng.random() < 0.4:
+        if rng.random() < 0.5:
+            return str(rng.randint(-20, 20))
+        return "$%s" % rng.choice(_VARS)
+    op = rng.choice(["+", "-", "*", "<", ">", "<=", ">=", "==", "!="])
+    return "(%s %s %s)" % (
+        _gen_expr(rng, depth + 1), op, _gen_expr(rng, depth + 1))
+
+
+def _gen_stmt(rng, depth=0):
+    roll = rng.random()
+    var = rng.choice(_VARS)
+    if roll < 0.25:
+        return "set %s %d" % (var, rng.randint(-50, 50))
+    if roll < 0.40:
+        return "incr %s %d" % (var, rng.randint(-3, 3))
+    if roll < 0.55:
+        return "set %s [expr {%s}]" % (var, _gen_expr(rng))
+    if roll < 0.65 and depth < 2:
+        return "if {%s} {\n%s\n} else {\n%s\n}" % (
+            _gen_expr(rng), _gen_block(rng, depth + 1),
+            _gen_block(rng, depth + 1))
+    if roll < 0.75 and depth < 2:
+        limit = rng.randint(1, 8)
+        return ("for {set %s 0} {$%s < %d} {incr %s} {\n%s\n}"
+                % (var, var, limit, var, _gen_block(rng, depth + 1)))
+    if roll < 0.82 and depth < 2:
+        items = " ".join(str(rng.randint(0, 9))
+                         for __ in range(rng.randint(1, 4)))
+        return "foreach %s {%s} {\n%s\n}" % (
+            var, items, _gen_block(rng, depth + 1))
+    if roll < 0.88:
+        # Hazards: unset (epoch bump), array elements, errors in catch.
+        hazard = rng.choice([
+            "catch {unset %s}" % var,
+            "set arr(%s) %d" % (var, rng.randint(0, 9)),
+            "catch {incr %s oops} msg" % var,
+            "catch {nosuchcommand} msg",
+        ])
+        return hazard
+    return "set %s [string length %s%d]" % (var, var, rng.randint(0, 99))
+
+
+def _gen_block(rng, depth):
+    return "\n".join(_gen_stmt(rng, depth)
+                     for __ in range(rng.randint(1, 3)))
+
+
+def _gen_script(rng):
+    lines = ["set %s %d" % (v, rng.randint(0, 9)) for v in _VARS]
+    lines += [_gen_stmt(rng) for __ in range(rng.randint(3, 8))]
+    lines.append("list $a $b $c $d [info cmdcount]")
+    return "\n".join(lines)
+
+
+class TestRandomizedDifferential:
+    # Every random script runs under a command budget: generated loop
+    # bodies may rewrite their own loop variable into an infinite loop,
+    # and a trip is itself a differential observable (the engines must
+    # stop after the identical work unit).
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_script_engines_agree(self, seed):
+        rng = random.Random(4242 + seed)
+        script = _gen_script(rng)
+        assert_engines_agree(script, commands=20000)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_script_under_tight_budget(self, seed):
+        rng = random.Random(9000 + seed)
+        script = _gen_script(rng)
+        assert_engines_agree(script, commands=50 + seed * 17)
