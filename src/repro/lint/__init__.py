@@ -21,9 +21,28 @@ matrix -- so this package checks scripts *before* they run:
 Every rule is documented with examples in ``docs/LINT.md``.
 """
 
-from repro.lint.analyzer import Analyzer
 from repro.lint.diagnostics import Diagnostic, ERROR, RULES, WARNING
-from repro.lint.knowledge import Knowledge, knowledge_for
+
+# The analyzer and knowledge base import the full widget/spec tables;
+# they are resolved lazily (PEP 562) so light consumers -- notably the
+# bytecode optimizer, which shares :mod:`repro.lint.cfg` and
+# :mod:`repro.lint.dataflow` -- can import this package without paying
+# for them.
+_LAZY = {
+    "Analyzer": ("repro.lint.analyzer", "Analyzer"),
+    "Knowledge": ("repro.lint.knowledge", "Knowledge"),
+    "knowledge_for": ("repro.lint.knowledge", "knowledge_for"),
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(
+            "module %r has no attribute %r" % (__name__, name))
+    import importlib
+
+    return getattr(importlib.import_module(target[0]), target[1])
 
 
 def check(source, filename="<script>", build="athena", extra_commands=(),
@@ -35,7 +54,12 @@ def check(source, filename="<script>", build="athena", extra_commands=(),
     names application-registered commands (``wafe.register_command``)
     the script may legitimately call.  ``safe_profile`` additionally
     flags commands the runtime hides under ``--safe`` (rule W011).
+    Lexical rules (W001..W011) and flow-sensitive rules (W012..W017)
+    both run.
     """
+    from repro.lint.analyzer import Analyzer
+    from repro.lint.knowledge import knowledge_for
+
     analyzer = Analyzer(knowledge_for(build), filename=filename,
                         extra_commands=extra_commands,
                         safe_profile=safe_profile)

@@ -107,22 +107,57 @@ class Analyzer:
         #: widget name -> class name, seeded with the automatic shell.
         self.widgets = {"topLevel": "ApplicationShell"}
         self._diags = []
+        #: Top-level chunks seen by collect(), in source order, and the
+        #: callback scripts found during analysis -- the flow-sensitive
+        #: pass (W012..W017) runs over both.
+        self._chunks = []
+        self._callback_scripts = []
+        self._flow_done = False
 
     def diagnostics(self):
-        """All findings so far, in file order, errors before warnings
-        on the same position."""
-        return sorted(self._diags,
-                      key=lambda d: (d.file, d.line, d.col, d.severity,
-                                     d.code))
+        """All findings, deduplicated, sorted by (file, line, col,
+        rule) so output is diffable across runs.  Runs the
+        flow-sensitive pass first if it has not run yet."""
+        self.flow()
+        seen = set()
+        unique = []
+        for diag in sorted(self._diags,
+                           key=lambda d: (d.file, d.line, d.col, d.code,
+                                          d.severity, d.message)):
+            key = (diag.file, diag.line, diag.col, diag.code,
+                   diag.severity, diag.message)
+            if key not in seen:
+                seen.add(key)
+                unique.append(diag)
+        return unique
 
     # ------------------------------------------------------------------
     # Entry points
 
-    def collect(self, source, line=1, col=1):
+    def collect(self, source, line=1, col=1, embedded=False):
+        """``embedded`` marks a chunk harvested out of a host program
+        (a Python string literal): the host runs it interleaved with
+        arbitrary interpreter mutations, so the flow pass must assume
+        any variable may already be defined at its entry."""
+        self._chunks.append((source, line, col, embedded))
         self._collect_region(_Region(source, line, col), 0)
 
     def analyze(self, source, line=1, col=1):
         self._analyze_region(_Region(source, line, col), 0)
+
+    def flow(self):
+        """The flow-sensitive pass (W012..W017), once per analyzer.
+
+        Imported lazily: the CFG/dataflow machinery is only paid for
+        when diagnostics are actually requested."""
+        if self._flow_done:
+            return
+        self._flow_done = True
+        from repro.lint.flowrules import analyze_flow
+
+        self._diags.extend(analyze_flow(
+            self._chunks, self._callback_scripts, self.kb,
+            self.filename, extra_commands=self.extra_commands))
 
     # ------------------------------------------------------------------
     # Shared plumbing
@@ -420,22 +455,9 @@ class Analyzer:
 
     def _check_command_name(self, region, command, name):
         words = command.words
-        proc = self.procs.get(name)
-        if proc is not None:
-            argc = len(words) - 1
-            if argc < proc.min_args or (proc.max_args is not None
-                                        and argc > proc.max_args):
-                if proc.max_args is None:
-                    expected = "at least %d" % proc.min_args
-                elif proc.min_args == proc.max_args:
-                    expected = "%d" % proc.min_args
-                else:
-                    expected = "%d to %d" % (proc.min_args, proc.max_args)
-                self._report(
-                    "W002",
-                    'proc "%s" called with %d argument%s, expects %s'
-                    % (name, argc, "" if argc == 1 else "s", expected),
-                    region, command.pos)
+        if name in self.procs:
+            # Arity of user-proc calls is W017's job (the flow pass
+            # tracks every definition, not just the last one).
             return
         if name in self.extra_commands:
             return
@@ -551,6 +573,8 @@ class Analyzer:
                     'unknown percent code "%%%s" in callback '
                     "(substitutes literally at runtime)" % code,
                     region, offset, severity=WARNING)
+        self._callback_scripts.append((region.text, region.line,
+                                       region.col))
         self._analyze_region(region, depth + 1)
 
     def _analyze_action_script(self, region, offset, script, event_types):

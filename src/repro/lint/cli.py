@@ -37,18 +37,21 @@ def iter_files(paths):
             yield path
 
 
-def lint_file(path, knowledge, extra_commands=(), safe_profile=False):
+def lint_file(path, knowledge, extra_commands=(), safe_profile=False,
+              harvest_eval=False):
     """All diagnostics for one file.  Chunks extracted from the file
     share one analyzer so a proc defined in an early ``run_script``
     call is known in a later one."""
     with open(path, "r") as handle:
         source = handle.read()
-    chunks, harvested = extract_chunks(path, source)
+    chunks, harvested = extract_chunks(path, source,
+                                       harvest_eval=harvest_eval)
     analyzer = Analyzer(knowledge, filename=path,
                         extra_commands=set(extra_commands) | harvested,
                         safe_profile=safe_profile)
     for chunk in chunks:
-        analyzer.collect(chunk.text, chunk.line, chunk.col)
+        analyzer.collect(chunk.text, chunk.line, chunk.col,
+                         embedded=chunk.embedded)
     for chunk in chunks:
         analyzer.analyze(chunk.text, chunk.line, chunk.col)
     return analyzer.diagnostics()
@@ -72,6 +75,10 @@ def main(argv=None):
     parser.add_argument("--safe-profile", action="store_true",
                         help="flag commands that are hidden when the "
                         "frontend runs under --safe (rule W011)")
+    parser.add_argument("--harvest-eval", action="store_true",
+                        help="also harvest string literals passed to "
+                        "bare eval() calls (off by default: test "
+                        "corpora eval deliberately hostile scripts)")
     args = parser.parse_args(argv)
 
     extra = tuple(name for name in args.extra_commands.split(",") if name)
@@ -83,7 +90,8 @@ def main(argv=None):
         files += 1
         try:
             diagnostics.extend(lint_file(path, knowledge, extra,
-                                         safe_profile=args.safe_profile))
+                                         safe_profile=args.safe_profile,
+                                         harvest_eval=args.harvest_eval))
         except OSError as err:
             print("%s: %s" % (path, err.strerror or err), file=sys.stderr)
             status = 2
@@ -94,8 +102,15 @@ def main(argv=None):
 
     errors = sum(1 for d in diagnostics if d.severity == ERROR)
     if args.format == "json":
-        json.dump([d.as_dict() for d in diagnostics], sys.stdout,
-                  indent=2)
+        # Versioned envelope (schema 2): diagnostics are sorted and
+        # deduplicated by the analyzer, so CI artifacts diff cleanly.
+        json.dump({
+            "schema": 2,
+            "files": files,
+            "errors": errors,
+            "warnings": len(diagnostics) - errors,
+            "diagnostics": [d.as_dict() for d in diagnostics],
+        }, sys.stdout, indent=2)
         sys.stdout.write("\n")
     else:
         for diagnostic in diagnostics:

@@ -42,6 +42,25 @@ RULES = {
     "W011": ("safe-mode-hidden",
              "command is hidden in safe mode and will fail at runtime "
              "under --safe (only checked with --safe-profile)"),
+    "W012": ("use-before-set",
+             "variable is read on a path where no assignment can have "
+             "reached it (can't read at runtime)"),
+    "W013": ("unreachable-flow",
+             "no control-flow path from the start of the script "
+             "reaches this command (all branches return, say)"),
+    "W014": ("dead-assignment",
+             "assigned value is overwritten or discarded on every "
+             "path before anything reads it"),
+    "W015": ("constant-condition",
+             "loop/branch condition is provably constant; an "
+             "always-true loop without break only stops at the eval "
+             "limit"),
+    "W016": ("use-after-destroy",
+             "widget handle may already be destroyed (destroyWidget "
+             "on a preceding path) when used here"),
+    "W017": ("proc-arity-mismatch",
+             "user proc called with an argument count no definition "
+             "accepts (checked across the whole file)"),
 }
 
 

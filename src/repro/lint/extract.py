@@ -9,10 +9,20 @@ reported as unknown.
 
 Python extraction is purely syntactic (:mod:`ast`): plain string
 literals are taken as-is; ``"..." % args`` templates are taken from the
-literal left operand with every format spec overwritten by ``0`` of the
-same length (positions stay exact, and a ``%s`` placeholder never
-collides with Wafe's percent codes); f-string literal parts are joined
-with ``0`` standing in for interpolations.
+literal left operand with every format spec overwritten by a ``$0...``
+variable reference of the same length (positions stay exact, and the
+analyzer's existing dynamic-name conservatism kicks in -- a
+placeholder in command or widget-name position silences the dependent
+checks instead of reporting a bogus literal); f-string literal parts
+are joined the same way.  ``%%`` is left alone: it reads as the
+literal-percent code, which is valid everywhere.
+
+A literal is not harvested at all when a ``# wafelint: skip`` comment
+sits on the call's line, the string's own line, or a comment-only
+line directly above the call -- the escape hatch for
+deliberately-broken scripts in negative tests.  (A *trailing* pragma
+on the previous line belongs to that line's call and does not bleed
+downward.)
 """
 
 import ast
@@ -20,6 +30,11 @@ import re
 
 #: Methods whose first string argument is a Wafe/Tcl script.
 SCRIPT_CALLS = frozenset(("run_script", "run_string", "run_command_line"))
+
+#: Additionally harvested with ``--harvest-eval``: raw interpreter
+#: evals, common in tests.  Off by default because test corpora are
+#: full of deliberately hostile scripts.
+EVAL_CALLS = frozenset(("eval",))
 
 #: Methods whose first string argument names an application command.
 REGISTER_CALLS = frozenset(("register_command", "register"))
@@ -33,21 +48,40 @@ _FORMAT_SPEC = re.compile(
 
 
 class Chunk:
-    """One extracted script with its base position in the host file."""
+    """One extracted script with its base position in the host file.
 
-    __slots__ = ("text", "line", "col")
+    ``embedded`` marks chunks harvested out of a host program (Python
+    string literals): the host runs them interleaved with arbitrary
+    interpreter mutations -- ``set_var`` calls, backend processes
+    sending ``%set`` protocol lines over a pipe -- so flow analysis
+    must assume any variable may already be defined when the chunk
+    starts.  Whole script files and Markdown fences (self-contained
+    examples) are not embedded.
+    """
 
-    def __init__(self, text, line=1, col=1):
+    __slots__ = ("text", "line", "col", "embedded")
+
+    def __init__(self, text, line=1, col=1, embedded=False):
         self.text = text
         self.line = line
         self.col = col
+        self.embedded = embedded
+
+
+def _dynamic_marker(length):
+    """A ``$0...`` variable reference of exactly ``length`` chars."""
+    return "$" + "0" * (length - 1) if length > 1 else "$"
 
 
 def _neutralize_format(template):
-    """Overwrite Python %-format specs with same-length ``0`` runs so
-    they cannot be mistaken for Wafe percent codes and positions of
-    everything else stay exact."""
-    return _FORMAT_SPEC.sub(lambda m: "0" * len(m.group(0)), template)
+    """Overwrite Python %-format specs with same-length ``$0...``
+    variable references, so the analyzer treats the word as dynamic
+    (like ``$cmd``) rather than as a bogus literal, and positions of
+    everything else stay exact.  ``%%`` stays literal: it denotes a
+    single ``%`` and reads as the valid-everywhere percent code."""
+    return _FORMAT_SPEC.sub(
+        lambda m: m.group(0) if m.group(0) == "%%"
+        else _dynamic_marker(len(m.group(0))), template)
 
 
 def _string_argument(node):
@@ -65,7 +99,7 @@ def _string_argument(node):
             if isinstance(value, ast.Constant):
                 parts.append(str(value.value))
             else:
-                parts.append("0")
+                parts.append("$0")
         return "".join(parts), True
     return None, False
 
@@ -79,7 +113,27 @@ def _call_name(node):
     return None
 
 
-def extract_python(source):
+_SKIP_PRAGMA = re.compile(r"#\s*wafelint:\s*skip")
+
+
+def _line_has_pragma(lines, lineno, comment_only=False):
+    if not 0 < lineno <= len(lines):
+        return False
+    line = lines[lineno - 1]
+    if comment_only and not line.lstrip().startswith("#"):
+        # A trailing pragma belongs to *that* line's call; it must not
+        # bleed into the statement below it.
+        return False
+    return bool(_SKIP_PRAGMA.search(line))
+
+
+def _skipped(lines, call_lineno, arg_lineno):
+    return (_line_has_pragma(lines, call_lineno)
+            or _line_has_pragma(lines, arg_lineno)
+            or _line_has_pragma(lines, call_lineno - 1, comment_only=True))
+
+
+def extract_python(source, harvest_eval=False):
     """(chunks, extra_commands) from Python source.
 
     Chunks are anchored at the string literal's position (the content
@@ -87,20 +141,27 @@ def extract_python(source):
     are offset by the quote; lines are exact for single-line literals
     and for subsequent physical lines of multi-line literals only when
     the literal is triple-quoted without escapes -- close enough to
-    land the reader on the right call).
+    land the reader on the right call).  With ``harvest_eval`` the
+    first arguments of bare ``eval`` calls are harvested too.
     """
     tree = ast.parse(source)
+    lines = source.splitlines()
+    script_calls = SCRIPT_CALLS | EVAL_CALLS if harvest_eval \
+        else SCRIPT_CALLS
     chunks = []
     extra = set()
     for node in ast.walk(tree):
         if not isinstance(node, ast.Call):
             continue
         name = _call_name(node)
-        if name in SCRIPT_CALLS and node.args:
+        if name in script_calls and node.args:
             arg = node.args[0]
+            if _skipped(lines, node.lineno, arg.lineno):
+                continue
             text, __ = _string_argument(arg)
             if text is not None:
-                chunks.append(Chunk(text, arg.lineno, arg.col_offset + 2))
+                chunks.append(Chunk(text, arg.lineno, arg.col_offset + 2,
+                                    embedded=True))
         elif name in REGISTER_CALLS and node.args:
             arg = node.args[0]
             if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
@@ -132,10 +193,10 @@ def extract_markdown(source):
     return chunks
 
 
-def extract_chunks(path, source):
+def extract_chunks(path, source, harvest_eval=False):
     """(chunks, extra_commands) for a file, dispatched on extension."""
     if path.endswith(".py"):
-        return extract_python(source)
+        return extract_python(source, harvest_eval=harvest_eval)
     if path.endswith((".md", ".markdown")):
         return extract_markdown(source), set()
     return [Chunk(source)], set()

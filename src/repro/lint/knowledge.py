@@ -117,6 +117,35 @@ class Knowledge:
                 return arity, registry.usage_for(name)
         return None, None
 
+    def widget_arg_positions(self, name):
+        """1-based argv positions that must name a live widget.
+
+        Derived from the spec files (``in: Widget`` arguments) plus the
+        handwritten resource commands; creation commands expect a live
+        *parent* at position 2.  Used by W016 (use after destroy)."""
+        for registry in self.registries:
+            spec = registry.functions.get(name)
+            if spec is not None:
+                return tuple(
+                    i + 1 for i, arg in enumerate(spec.arguments)
+                    if arg.direction == "in" and arg.type == "Widget")
+            if registry.is_creation(name):
+                return (2,)
+        if name in ("setValues", "sV", "getValues", "gV"):
+            return (1,)
+        return ()
+
+    def out_var_positions(self, name):
+        """1-based argv positions that receive a result into a Tcl
+        variable (spec ``out:`` arguments).  Used by the flow rules:
+        an out argument *assigns* the named variable."""
+        for registry in self.registries:
+            spec = registry.functions.get(name)
+            if spec is not None:
+                return tuple(i + 1 for i, arg in enumerate(spec.arguments)
+                             if arg.direction == "out")
+        return ()
+
     # ------------------------------------------------------------------
     # Widget classes and resources
 

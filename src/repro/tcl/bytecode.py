@@ -38,6 +38,16 @@ OP_FOREACH = 7   # (OP_FOREACH, cell, name, items, word, body, text,
                  #  line, fb, func)
 OP_EXPR = 8      # (OP_EXPR, cell, prog, text, line, fb, func)
 
+# Optimizer-produced statement ops (repro.tcl.optimize).  Both carry
+# the same binding-check cell and fallback as the op they replace, so
+# ``rename`` deopts them identically.
+OP_CONSTEXPR = 9  # (OP_CONSTEXPR, cell, result, num, text, line, fb, func)
+OP_SETDEAD = 10   # (OP_SETDEAD, cell, name, word, line, fb, func)
+                  # -- an OP_SET whose stored value is provably dead:
+                  # the fast path pays set's work unit but skips the
+                  # store; any slow-path condition (traces, links)
+                  # performs the real assignment.
+
 # ----------------------------------------------------------------------
 # Word descriptors (argument positions of inlined statements)
 
@@ -47,6 +57,9 @@ W_VARIDX = 2     # (W_VARIDX, (name, index_parts))
 W_CMD = 3        # (W_CMD, script) -- [script], compiled lazily at run
 W_CODE = 4       # (W_CODE, code) -- [script] with embedded Code
 W_PARTS = 5      # (W_PARTS, parts) -- general multi-part word
+W_FOLDED = 6     # (W_FOLDED, code) -- [expr] block folded to a single
+                 # OP_CONSTEXPR; the VM pays the block-entry and expr
+                 # work units, then returns the precomputed result
 
 # ----------------------------------------------------------------------
 # Expr program opcodes (stack machine)
@@ -131,6 +144,8 @@ _OP_NAMES = {
     OP_FOR: "for",
     OP_FOREACH: "foreach",
     OP_EXPR: "expr",
+    OP_CONSTEXPR: "constexpr",
+    OP_SETDEAD: "setdead",
 }
 
 _E_NAMES = {
@@ -172,6 +187,8 @@ def _describe_word(word):
         return "[%s]" % _clip(word[1])
     if kind == W_CODE:
         return "[<code %d ops>]" % len(word[1].ops)
+    if kind == W_FOLDED:
+        return "[<folded>] = %r" % (word[1].ops[0][2],)
     return "parts %d" % len(word[1])
 
 
@@ -211,8 +228,12 @@ def _describe_cond(cond, indent):
     pad = "    " * indent
     if prog is None:
         return "%scond (uncompiled) %r" % (pad, _clip(text))
-    header = "%scond %r%s" % (
-        pad, _clip(text), " [fused]" if cond[3] is not None else "")
+    marker = ""
+    if cond[3] is not None:
+        marker = " [fused]"
+    elif cond[4] is not None:
+        marker = " [const %s]" % ("true" if cond[4] else "false")
+    header = "%scond %r%s" % (pad, _clip(text), marker)
     return header + "\n" + disassemble_expr(prog, indent + 1)
 
 
@@ -274,6 +295,12 @@ def disassemble(code, indent=0):
         elif kind == OP_EXPR:
             lines.append("%s%3d  expr     %r" % (pad, i, _clip(op[3])))
             lines.append(disassemble_expr(op[2], indent + 1))
+        elif kind == OP_CONSTEXPR:
+            lines.append("%s%3d  constexpr %r -> %r" % (
+                pad, i, _clip(op[4]), op[2]))
+        elif kind == OP_SETDEAD:
+            lines.append("%s%3d  setdead  %s <- %s (store elided)" % (
+                pad, i, op[2], _describe_word(op[3])))
         else:  # pragma: no cover - future opcodes
             lines.append("%s%3d  %s" % (pad, i, name))
     return "\n".join(lines)

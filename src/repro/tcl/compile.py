@@ -482,18 +482,20 @@ _CMP_FROM_E = {
 
 
 def _compile_cond(text, interp):
-    """A condition tuple ``(prog, text, fallback_word, fused)``.
+    """A condition tuple ``(prog, text, fallback_word, fused, truth)``.
 
     ``prog`` None means the text does not parse as an expression; the
     VM then calls ``eval_expr_truth`` per iteration, which reproduces
     the bare-boolean-word fallback and error behaviour exactly.
+    ``truth`` is a precomputed boolean when the optimizer proved the
+    condition constant (see :mod:`repro.tcl.optimize`), else None.
     """
     stripped = text.strip()
     fallback_word = stripped if (stripped and stripped.isalnum()) else None
     try:
         ast = compile_expr(text)
     except TclError:
-        return (None, text, fallback_word, None)
+        return (None, text, fallback_word, None, None)
     prog = _compile_expr_program(ast, interp)
     fused = None
     if (len(prog) == 3 and prog[0][0] == _bc.E_LOAD
@@ -501,7 +503,7 @@ def _compile_cond(text, interp):
         cmp = _CMP_FROM_E.get(prog[2][0])
         if cmp is not None:
             fused = (prog[0][1], prog[0][2], cmp, prog[1][1])
-    return (prog, text, fallback_word, fused)
+    return (prog, text, fallback_word, fused, None)
 
 
 def _fold_expr(node):
@@ -698,4 +700,12 @@ def compile_script_bytecode(parsed_commands, source, interp):
     stats["scripts"] += 1
     stats["inline_ops"] += inline_count
     stats["generic_ops"] += generic_count
-    return _bc.Code(tuple(ops), source, inline_count, generic_count)
+    code = _bc.Code(tuple(ops), source, inline_count, generic_count)
+    if interp.optimize:
+        # Nested blocks were compiled (and optimized) by the recursive
+        # _try_compile_block calls above, so one pass over this level's
+        # ops sees already-folded children.
+        from repro.tcl.optimize import optimize_code
+
+        code = optimize_code(code, interp)
+    return code

@@ -155,7 +155,7 @@ class Interp:
     by calling :meth:`register`.
     """
 
-    def __init__(self, register_builtins=True, compile=True):
+    def __init__(self, register_builtins=True, compile=True, optimize=True):
         self.commands = {}
         self.procs = {}
         self.frames = [CallFrame(0)]
@@ -175,6 +175,11 @@ class Interp:
         else:
             self.engine = "tree"
         self.compile_enabled = self.engine != "tree"
+        # The bytecode optimizer (repro.tcl.optimize) only exists on
+        # the vm engine; ``optimize=False`` is the A/B escape hatch
+        # for isolating a suspected optimizer bug without giving up
+        # inline caches.
+        self.optimize = bool(optimize) and self.engine == "vm"
         self.compile_cache = LRUCache(maxsize=512)
         self.bytecode_cache = LRUCache(maxsize=512)
         # Inline-cache invalidation counters (see repro.tcl.vm): any
@@ -185,6 +190,7 @@ class Interp:
         self.var_epoch = 0
         self._vm_stats = {
             "scripts": 0, "inline_ops": 0, "generic_ops": 0, "deopts": 0,
+            "folded": 0, "elided": 0,
         }
         # Integer handoff between an inlined ``expr`` and a consuming
         # ``set`` (see repro.tcl.vm): valid only while ``_vm_num_str``

@@ -1,0 +1,238 @@
+"""The verified bytecode optimizer: constant folding + dead stores.
+
+Runs at the tail of ``compile_script_bytecode`` when the interpreter
+was created with ``optimize=True`` (the default under the ``vm``
+engine; ``Interp(optimize=False)`` is the A/B escape hatch).  The
+contract is the same *semantic invisibility* the VM itself promises:
+an optimized script must be byte-identical to the tree walker on
+results, errorInfo, errorCode, ``info cmdcount``, and watchdog trip
+points (tests/test_tcl_vm_differential.py runs the full differential
+corpus with the optimizer on and off).  That constraint shapes every
+transform:
+
+* ``expr`` statements whose program folded to a single constant become
+  :data:`~repro.tcl.bytecode.OP_CONSTEXPR` -- the result *string* is
+  precomputed, but the op still performs ``expr``'s binding check and
+  pays exactly one work unit, so ``rename expr`` and budget trips are
+  unchanged.
+* a ``[expr ...]`` word whose compiled block reduced to one
+  ``OP_CONSTEXPR`` becomes :data:`~repro.tcl.bytecode.W_FOLDED`: the
+  VM pays the block-entry unit and the expr unit (in that order, with
+  the same errorInfo seeding on a trip) and returns the precomputed
+  string without entering the dispatch loop.
+* loop/branch conditions whose program is a single constant get their
+  truth value precomputed into the condition tuple's fifth slot.
+  Folding only happens when the truth conversion cannot raise; a
+  condition like ``while {"abc"}`` keeps its per-iteration error.
+* adjacent constant ``set``s to the same scalar: every store but the
+  last is provably dead, so the earlier ops become
+  :data:`~repro.tcl.bytecode.OP_SETDEAD`, which pays ``set``'s work
+  unit but skips the memory write.  *Adjacent* is a hard requirement,
+  not a simplification: with any other statement in between -- even
+  another constant ``set`` -- a write trace on that statement's
+  variable could run arbitrary code that reads the "dead" value.
+  Deadness within a chain is established with the same
+  :class:`repro.lint.dataflow.Liveness` lattice the lint rules use
+  (the chain is one straight-line block; the boundary keeps the final
+  value live).
+
+The elision is also self-defending at run time: ``OP_SETDEAD`` only
+skips the store on the inline-cache fast path (plain scalar, no
+traces); any slow-path condition performs the real assignment through
+``Interp.call``, so traces added after compilation fire with the exact
+values the unoptimized program would produce.
+"""
+
+from repro.lint.dataflow import Liveness, solve, stmt_states
+from repro.tcl import bytecode as _bc
+from repro.tcl.errors import TclError
+from repro.tcl.expr import format_number, is_true
+
+__all__ = ["optimize_code"]
+
+
+class _ChainBlock:
+    """One straight-line pseudo-block over a run of adjacent stores,
+    shaped like a :class:`repro.lint.cfg.Block` for the solver."""
+
+    __slots__ = ("stmts", "succs", "preds")
+
+    def __init__(self, stmts):
+        self.stmts = stmts
+        self.succs = []
+        self.preds = []
+
+
+class _ChainGraph:
+    __slots__ = ("blocks", "entry", "exit")
+
+    def __init__(self, block):
+        self.blocks = [block]
+        self.entry = block
+        self.exit = block
+
+
+def _const_result(value):
+    """(result_string, int_or_None) for a folded expr value, or None
+    when rendering could raise (keep the op; the error stays lazy)."""
+    if type(value) is int:
+        return str(value), value
+    try:
+        return format_number(value), None
+    except Exception:
+        return None
+
+
+def _fold_constexpr(op):
+    """OP_EXPR whose program is a single constant -> OP_CONSTEXPR."""
+    prog = op[2]
+    if len(prog) != 1 or prog[0][0] != _bc.E_CONST:
+        return None
+    rendered = _const_result(prog[0][1])
+    if rendered is None:
+        return None
+    result, num = rendered
+    return (_bc.OP_CONSTEXPR, op[1], result, num, op[3], op[4],
+            op[5], op[6])
+
+
+def _fold_cond(cond):
+    """Precompute the truth slot of a single-constant condition.
+
+    Mirrors the tail of ``vm._cond`` exactly; any conversion that
+    would raise (``while {"abc"}``) leaves the slot None so the error
+    is produced per evaluation, as before.
+    """
+    prog = cond[0]
+    if (prog is None or cond[4] is not None or len(prog) != 1
+            or prog[0][0] != _bc.E_CONST):
+        return cond
+    value = prog[0][1]
+    try:
+        if type(value) is int:
+            truth = value != 0
+        elif isinstance(value, str):
+            truth = is_true(value)
+        else:
+            truth = value != 0
+    except TclError:
+        return cond
+    return (cond[0], cond[1], cond[2], cond[3], truth)
+
+
+def _fold_word(word):
+    """W_CODE wrapping a lone OP_CONSTEXPR -> W_FOLDED."""
+    if word[0] != _bc.W_CODE:
+        return None
+    inner = word[1].ops
+    if len(inner) == 1 and inner[0][0] == _bc.OP_CONSTEXPR:
+        return (_bc.W_FOLDED, word[1])
+    return None
+
+
+def _dead_const_set(op):
+    """True for an OP_SET of a constant into a plain scalar -- the
+    only store shape whose elision cannot change evaluation order."""
+    return op[0] == _bc.OP_SET and op[3][0] == _bc.W_CONST
+
+
+def _elide_dead_stores(ops):
+    """Rewrite dead members of adjacent same-name constant-set chains.
+
+    Returns the number of stores elided.  Each maximal chain is solved
+    as a one-block liveness problem: a store whose name is not live
+    immediately after it (a later store in the chain definitely
+    overwrites it) carries a dead value.
+    """
+    elided = 0
+    i = 0
+    n = len(ops)
+    while i < n:
+        op = ops[i]
+        if not _dead_const_set(op):
+            i += 1
+            continue
+        name = op[2]
+        j = i + 1
+        while j < n and _dead_const_set(ops[j]) and ops[j][2] == name:
+            j += 1
+        if j - i >= 2:
+            chain = ops[i:j]
+            block = _ChainBlock(chain)
+            problem = Liveness(
+                uses=lambda stmt: ((), False),
+                defs=lambda stmt: (stmt[2],),
+                boundary_all=True)
+            states = solve(_ChainGraph(block), problem)
+            # Backward problem: states arrive in reverse program
+            # order, so offset 0 is the chain's final store.
+            for offset, (stmt, after) in enumerate(
+                    stmt_states(problem, block, states[block])):
+                if not Liveness.is_live(after, stmt[2]):
+                    k = j - 1 - offset
+                    ops[k] = (_bc.OP_SETDEAD,) + ops[k][1:]
+                    elided += 1
+        i = j
+    return elided
+
+
+def optimize_code(code, interp):
+    """Optimize one compiled :class:`~repro.tcl.bytecode.Code` level.
+
+    Nested blocks are optimized when they are compiled (the emitter
+    recurses through ``compile_script_bytecode``), so this pass only
+    rewrites the given level's ops.  Fold/elide totals accumulate in
+    ``interp._vm_stats`` and surface through ``info bytecode``.
+    """
+    ops = list(code.ops)
+    folded = 0
+    changed = False
+    for i, op in enumerate(ops):
+        kind = op[0]
+        if kind == _bc.OP_EXPR:
+            new = _fold_constexpr(op)
+            if new is not None:
+                ops[i] = new
+                folded += 1
+        elif kind == _bc.OP_SET:
+            new = _fold_word(op[3])
+            if new is not None:
+                ops[i] = op[:3] + (new,) + op[4:]
+                folded += 1
+        elif kind == _bc.OP_INCR:
+            if op[4] is not None:
+                new = _fold_word(op[4])
+                if new is not None:
+                    ops[i] = op[:4] + (new,) + op[5:]
+                    folded += 1
+        elif kind == _bc.OP_FOREACH:
+            if op[3] is None:
+                new = _fold_word(op[4])
+                if new is not None:
+                    ops[i] = op[:4] + (new,) + op[5:]
+                    folded += 1
+        elif kind == _bc.OP_IF:
+            clauses = tuple((_fold_cond(cond), body)
+                            for cond, body in op[2])
+            if any(new is not old
+                   for (new, __), (old, __2) in zip(clauses, op[2])):
+                ops[i] = op[:2] + (clauses,) + op[3:]
+                changed = True
+        elif kind == _bc.OP_WHILE:
+            cond = _fold_cond(op[2])
+            if cond is not op[2]:
+                ops[i] = op[:2] + (cond,) + op[3:]
+                changed = True
+        elif kind == _bc.OP_FOR:
+            cond = _fold_cond(op[3])
+            if cond is not op[3]:
+                ops[i] = op[:3] + (cond,) + op[4:]
+                changed = True
+    elided = _elide_dead_stores(ops)
+    stats = interp._vm_stats
+    stats["folded"] += folded
+    stats["elided"] += elided
+    if not (folded or elided or changed):
+        return code
+    return _bc.Code(tuple(ops), code.source, code.inline_ops,
+                    code.generic_ops)

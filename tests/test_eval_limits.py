@@ -367,7 +367,7 @@ class TestLimitCommands:
         assert wafe.run_script("evalLimit") == "0 400"
         errors = []
         wafe.error_sink = errors.append
-        wafe.run_command_line("while 1 {}")
+        wafe.run_command_line("while 1 {}")  # wafelint: skip -- must spin
         assert any("command count limit exceeded" in e for e in errors)
         # The loop -- and the frontend -- keep going.
         assert wafe.run_script("expr 1 + 2") == "3"

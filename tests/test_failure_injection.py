@@ -366,7 +366,8 @@ class TestScriptErrorPaths:
         errors = []
         wafe.error_sink = errors.append
         wafe.run_script("label l topLevel")
-        wafe.run_script("action l override {<Btn1Down>: exec(nosuchcmd)}")
+        wafe.run_script(  # wafelint: skip -- failure is the point
+            "action l override {<Btn1Down>: exec(nosuchcmd)}")
         wafe.run_script("realize")
         widget = wafe.lookup_widget("l")
         x, y = widget.window.absolute_origin()

@@ -1,0 +1,395 @@
+"""Flow-sensitive wafelint: the CFG builder, the dataflow engine, and
+rules W012..W017, plus the deterministic-diagnostics contract."""
+
+from repro.lint import check
+from repro.lint.analyzer import Analyzer
+from repro.lint.cfg import PROC, build_graph
+from repro.lint.dataflow import (
+    ConstLattice,
+    Liveness,
+    NAC,
+    SetUnion,
+    reachable_blocks,
+    solve,
+)
+from repro.lint.knowledge import knowledge_for
+
+
+def _lit(stmt, i):
+    """The literal text of statement word ``i`` (test helper)."""
+    return stmt.words[i].literal_value()
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+def only(diagnostics, code):
+    found = [d for d in diagnostics if d.code == code]
+    assert found, "expected a %s among %r" % (code, diagnostics)
+    return found
+
+
+# ---------------------------------------------------------------------------
+# The CFG builder
+
+
+class TestCFG:
+    def test_straight_line_is_one_block(self):
+        graph = build_graph("set a 1\nset b 2\nset c 3\n")
+        real = [b for b in graph.blocks if b.stmts]
+        assert len(real) == 1
+        assert [s.name for s in real[0].stmts] == ["set", "set", "set"]
+
+    def test_if_produces_branch_and_join(self):
+        graph = build_graph(
+            "if {$a} { set x 1 } else { set x 2 }\nset y $x\n")
+        assert len(graph.branches) == 1
+        # Both arms reach the join; the join reaches the final set.
+        join_preds = {len(b.preds) for b in graph.blocks}
+        assert 2 in join_preds
+
+    def test_while_has_back_edge_and_loop_info(self):
+        graph = build_graph("while {$i < 3} { incr i }\n")
+        (loop,) = graph.loops
+        assert loop.cond_text == "$i < 3"
+        assert loop.head in {s for b in loop.body_blocks for s in b.succs}
+
+    def test_break_binds_to_innermost_loop(self):
+        graph = build_graph(
+            "while {1} { while {1} { break } }\n")
+        inner = graph.loops[-1]
+        outer = graph.loops[0]
+        assert len(inner.breaks) + len(outer.breaks) == 1
+        assert inner.breaks or outer.breaks
+
+    def test_proc_body_is_a_subgraph(self):
+        graph = build_graph("proc f {a b} { set c $a }\nf 1 2\n")
+        (sub,) = graph.subgraphs
+        assert sub.kind == PROC
+        assert tuple(sub.params) == ("a", "b")
+
+    def test_return_makes_following_block_predecessorless(self):
+        graph = build_graph("return\nset dead 1\n")
+        reachable = reachable_blocks(graph)
+        dead = [b for b in graph.blocks
+                if b.stmts and b.stmts[0].name == "set"]
+        assert dead and dead[0] not in reachable
+
+    def test_catch_body_blocks_are_marked(self):
+        graph = build_graph("catch { set x $boom } msg\n")
+        assert any(b.in_catch for b in graph.blocks)
+
+
+# ---------------------------------------------------------------------------
+# The dataflow engine (direct, rule-independent)
+
+
+class TestDataflow:
+    def test_set_union_reaches_a_join(self):
+        graph = build_graph(
+            "if {$c} { set a 1 } else { set b 2 }\nset z 3\n")
+        problem = SetUnion(
+            gen=lambda s: [_lit(s, 1)] if s.name == "set" else [],
+            kill=lambda s: [],
+            boundary_names=("c",))
+        states = solve(graph, problem)
+        exit_state = states[graph.exit]
+        # May-analysis: both arms' definitions survive the join.
+        assert problem.contains(exit_state, "a")
+        assert problem.contains(exit_state, "b")
+        assert problem.contains(exit_state, "c")
+
+    def test_liveness_kills_through_all_live_boundary(self):
+        graph = build_graph("set a 1\nset a 2\n")
+        problem = Liveness(
+            uses=lambda s: ((), False),
+            defs=lambda s: (_lit(s, 1),) if s.name == "set" else (),
+            boundary_all=True)
+        states = solve(graph, problem)
+        block = next(b for b in graph.blocks if b.stmts)
+        from repro.lint.dataflow import stmt_states
+        seen = {}
+        for stmt, after in stmt_states(problem, block, states[block]):
+            seen[stmt.line] = Liveness.is_live(after, "a")
+        assert seen[2] is True    # final value outlives the script
+        assert seen[1] is False   # overwritten before any read
+
+    def test_const_lattice_join_demotes_to_nac(self):
+        graph = build_graph(
+            "if {$c} { set a 1 } else { set a 2 }\nset z $a\n")
+
+        def effects(stmt, state):
+            if stmt.name == "set" and len(stmt.words) == 3:
+                state[_lit(stmt, 1)] = _lit(stmt, 2)
+
+        problem = ConstLattice(effects)
+        states = solve(graph, problem)
+        assert problem.value_of(states[graph.exit], "a") is NAC
+
+    def test_const_lattice_straight_line_proves(self):
+        graph = build_graph("set a 1\nset b $a\n")
+
+        def effects(stmt, state):
+            if stmt.name == "set" and len(stmt.words) == 3:
+                state[_lit(stmt, 1)] = _lit(stmt, 2)
+
+        problem = ConstLattice(effects)
+        states = solve(graph, problem)
+        assert problem.value_of(states[graph.exit], "a") == "1"
+
+
+# ---------------------------------------------------------------------------
+# W012 use-before-set
+
+
+class TestUseBeforeSet:  # W012
+    def test_plain_read_before_any_assignment(self):
+        (diag,) = only(check("set y $x\n"), "W012")
+        assert '"x"' in diag.message
+        assert diag.severity == "error"
+        assert diag.line == 1
+
+    def test_self_read_in_first_assignment(self):
+        assert "W012" in codes(check("set x $x\n"))
+
+    def test_assigned_on_only_one_path_is_not_flagged(self):
+        # May-analysis: "never assigned on ANY path" keeps zero false
+        # positives; a maybe-path is not reported.
+        script = "if {$::cond} { set v 1 }\necho $v\n"
+        assert "W012" not in codes(check(script))
+
+    def test_catch_probe_idiom_is_clean(self):
+        script = ("if {[catch {set v $maybe}]} { set v 0 }\n"
+                  "echo $v\n")
+        assert "W012" not in codes(check(script))
+
+    def test_info_exists_guard_is_clean(self):
+        assert "W012" not in codes(
+            check("if {[info exists q]} { echo $q }\n"))
+
+    def test_foreach_variable_visible_after_loop(self):
+        assert "W012" not in codes(
+            check("foreach i {1 2 3} { echo $i }\necho $i\n"))
+
+    def test_upvar_proc_call_shields_later_reads(self):
+        script = ("proc fill {name} { upvar $name v; set v 1 }\n"
+                  "fill x\n"
+                  "echo $x\n")
+        assert "W012" not in codes(check(script))
+
+    def test_communication_variable_is_external(self):
+        script = ("setCommunicationVariable answer 3 {echo done}\n"
+                  "echo $answer\n")
+        assert "W012" not in codes(check(script))
+
+    def test_proc_params_are_defined(self):
+        assert "W012" not in codes(
+            check("proc f {a} { echo $a }\nf 1\n"))
+
+    def test_earlier_chunk_definitions_carry_over(self):
+        kb = knowledge_for("athena")
+        analyzer = Analyzer(kb, filename="two-chunks")
+        analyzer.collect("set shared 1\n", 1, 1)
+        analyzer.collect("echo $shared\n", 10, 1)
+        analyzer.analyze("set shared 1\n", 1, 1)
+        analyzer.analyze("echo $shared\n", 10, 1)
+        assert "W012" not in codes(analyzer.diagnostics())
+
+    def test_embedded_chunks_assume_host_mutations(self):
+        # A chunk harvested from a Python host: the host may set any
+        # variable between chunks (pipes, set_var), so no W012.
+        kb = knowledge_for("athena")
+        analyzer = Analyzer(kb, filename="host.py")
+        analyzer.collect("echo $fromHost\n", 5, 1, embedded=True)
+        analyzer.analyze("echo $fromHost\n", 5, 1)
+        assert "W012" not in codes(analyzer.diagnostics())
+
+
+# ---------------------------------------------------------------------------
+# W013 unreachable flow
+
+
+class TestUnreachableFlow:  # W013
+    def test_join_after_both_branches_return(self):
+        script = ("proc f {} {\n"
+                  "  if {$::a} { return 1 } else { return 2 }\n"
+                  "  set dead 1\n"
+                  "}\nf\n")
+        (diag,) = only(check(script), "W013")
+        assert (diag.line, diag.col) == (3, 3)
+        assert diag.severity == "warning"
+
+    def test_same_block_unreachable_stays_w010(self):
+        diags = check("proc f {} {\n  return\n  echo never\n}\nf\n")
+        assert "W010" in codes(diags)
+        assert "W013" not in codes(diags)
+
+    def test_cascade_reports_once(self):
+        script = ("proc f {} {\n"
+                  "  if {$::a} { return 1 } else { return 2 }\n"
+                  "  if {$::b} { echo x } else { echo y }\n"
+                  "  echo z\n"
+                  "}\nf\n")
+        assert codes(only(check(script), "W013")) == ["W013"]
+
+
+# ---------------------------------------------------------------------------
+# W014 dead assignment
+
+
+class TestDeadAssignment:  # W014
+    def test_overwritten_before_read_in_private_proc(self):
+        script = ("proc g {} {\n"
+                  "  set t 1\n"
+                  "  set t 2\n"
+                  "  return $t\n"
+                  "}\ng\n")
+        (diag,) = only(check(script), "W014")
+        assert (diag.line, diag.col) == (2, 3)
+        assert diag.severity == "warning"
+
+    def test_toplevel_final_store_outlives_the_script(self):
+        # Later chunks and callbacks can read anything: the *final*
+        # value is live at a top-level script's exit -- but an
+        # unconditional overwrite still kills the first store.
+        diags = only(check("set t 1\nset t 2\n"), "W014")
+        assert [d.line for d in diags] == [1]
+        assert "W014" not in codes(check("set t 1\n"))
+
+    def test_read_between_stores_is_live(self):
+        script = ("proc g {} {\n"
+                  "  set t 1\n"
+                  "  echo $t\n"
+                  "  set t 2\n"
+                  "  return $t\n"
+                  "}\ng\n")
+        assert "W014" not in codes(check(script))
+
+    def test_branch_read_keeps_the_store_alive(self):
+        script = ("proc g {c} {\n"
+                  "  set t 1\n"
+                  "  if {$c} { echo $t }\n"
+                  "  set t 2\n"
+                  "  return $t\n"
+                  "}\ng 1\n")
+        assert "W014" not in codes(check(script))
+
+
+# ---------------------------------------------------------------------------
+# W015 constant conditions
+
+
+class TestConstantCondition:  # W015
+    def test_const_true_loop_without_break(self):
+        script = "set n 5\nwhile {$n > 0} { label topLevel l }\n"
+        (diag,) = only(check(script, build="both"), "W015")
+        assert "always true" in diag.message
+        assert "eval limit" in diag.message
+
+    def test_const_true_loop_with_break_is_clean(self):
+        assert "W015" not in codes(check("while {1 == 1} { break }\n"))
+
+    def test_loop_mutating_its_variable_is_clean(self):
+        assert "W015" not in codes(
+            check("set n 5\nwhile {$n > 0} { incr n -1 }\n"))
+
+    def test_const_false_loop_body_never_runs(self):
+        (diag,) = only(check("while {2 < 1} { echo x }\n"), "W015")
+        assert "never runs" in diag.message
+
+    def test_if_zero_comment_idiom_is_deliberate(self):
+        # `if 0 { ... }` is Tcl's block comment: never flagged.
+        assert "W015" not in codes(check("if 0 { echo debug }\n"))
+        assert "W015" not in codes(check("if {0} { echo debug }\n"))
+
+    def test_propagated_constant_branch(self):
+        (diag,) = only(
+            check("set x 1\nif {$x > 1} { echo big }\n"), "W015")
+        assert "always false" in diag.message
+
+
+# ---------------------------------------------------------------------------
+# W016 use after destroy
+
+
+class TestUseAfterDestroy:  # W016
+    def test_set_values_after_destroy(self):
+        script = ("label topLevel l\n"
+                  "destroyWidget l\n"
+                  "sV l label x\n")
+        (diag,) = only(check(script), "W016")
+        assert '"l"' in diag.message
+        assert diag.line == 3
+
+    def test_recreation_clears_the_destroyed_state(self):
+        script = ("label l topLevel\n"
+                  "destroyWidget l\n"
+                  "label l topLevel\n"
+                  "sV l label x\n")
+        assert "W016" not in codes(check(script))
+
+    def test_destroy_on_one_branch_still_warns(self):
+        script = ("label topLevel l\n"
+                  "if {$::done} { destroyWidget l }\n"
+                  "sV l label x\n")
+        (diag,) = only(check(script), "W016")
+        assert "may already be destroyed" in diag.message
+
+
+# ---------------------------------------------------------------------------
+# W017 user-proc arity (flow-insensitive, whole file)
+
+
+class TestProcArity:  # W017
+    def test_wrong_count_is_an_error(self):
+        diags = check("proc greet {a} { echo $a }\ngreet x y\n")
+        (diag,) = only(diags, "W017")
+        assert diag.severity == "error"
+        assert "expects 1" in diag.message
+
+    def test_multiple_definitions_any_match_wins(self):
+        script = ("proc f {a} { echo $a }\n"
+                  "proc f {a b} { echo $a$b }\n"
+                  "f 1\nf 1 2\n")
+        assert "W017" not in codes(check(script))
+
+    def test_multiple_definitions_none_match(self):
+        script = ("proc f {a} { echo $a }\n"
+                  "proc f {a b} { echo $a$b }\n"
+                  "f 1 2 3\n")
+        (diag,) = only(check(script), "W017")
+        assert "1 or 2" in diag.message
+
+    def test_rename_disables_the_rule(self):
+        script = ("proc f {a} { echo $a }\n"
+                  "rename f g\n"
+                  "g 1 2\n")
+        assert "W017" not in codes(check(script))
+
+    def test_args_soaks_extras(self):
+        assert "W017" not in codes(
+            check("proc f {a args} { echo $a }\nf 1 2 3 4 5\n"))
+
+
+# ---------------------------------------------------------------------------
+# Deterministic diagnostics (the schema-2 contract)
+
+
+class TestDeterminism:
+    SCRIPT = "set y $x\nset y $x\nfrobnicate\n"
+
+    def test_sorted_by_position_then_rule(self):
+        diags = check(self.SCRIPT)
+        keys = [(d.file, d.line, d.col, d.code) for d in diags]
+        assert keys == sorted(keys)
+
+    def test_duplicates_collapse(self):
+        diags = check(self.SCRIPT)
+        keys = [(d.file, d.line, d.col, d.code, d.message) for d in diags]
+        assert len(keys) == len(set(keys))
+
+    def test_two_passes_identical(self):
+        first = [d.format() for d in check(self.SCRIPT)]
+        second = [d.format() for d in check(self.SCRIPT)]
+        assert first == second

@@ -21,6 +21,7 @@ class TestScale:
             for j in range(9):
                 name = "cell%d_%d" % (i, j)
                 extra = (" fromHoriz %s" % previous) if previous else ""
+                # wafelint: skip -- %s juxtaposed after }
                 wafe.run_script("label %s row%d label {%d.%d}%s"
                                 % (name, i, i, j, extra))
                 previous = name
@@ -57,7 +58,8 @@ class TestScale:
         for i in range(60):
             extra = (" fromVert w%d" % (i - 1)) if previous is not None \
                 else ""
-            wafe.run_script("label w%d f label {row %d}%s" % (i, i, extra))
+            wafe.run_script(  # wafelint: skip -- %s juxtaposed after }
+                "label w%d f label {row %d}%s" % (i, i, extra))
             previous = i
         wafe.run_script("realize")
         top_y = wafe.lookup_widget("w0").resources["y"]

@@ -24,8 +24,16 @@ from repro.tcl.errors import TclError, TclLimitError
 
 from tests.test_tcl_compile import EQUIVALENCE_SCRIPTS
 
-ENGINES = (False, "plans", True)  # reference first: it defines truth
-ENGINE_IDS = ("tree", "plans", "vm")
+#: Interp configurations under test; the tree-walker defines truth.
+#: The vm engine runs twice -- optimizer off and on -- so every script
+#: in every corpus also pins the optimizer's semantic invisibility.
+ENGINES = (
+    {"compile": False},
+    {"compile": "plans"},
+    {"compile": True, "optimize": False},
+    {"compile": True},
+)
+ENGINE_IDS = ("tree", "plans", "vm-noopt", "vm")
 
 
 def snapshot(engine, script, rounds=2, commands=None, prelude=None):
@@ -34,7 +42,8 @@ def snapshot(engine, script, rounds=2, commands=None, prelude=None):
     Round 2 exercises the cached/compiled path, which is where inline
     caches (and their invalidation bugs) live.
     """
-    interp = Interp(compile=engine)
+    interp = Interp(**engine) if isinstance(engine, dict) \
+        else Interp(compile=engine)
     if prelude:
         interp.eval(prelude)
     if commands:
@@ -59,8 +68,8 @@ def snapshot(engine, script, rounds=2, commands=None, prelude=None):
 
 
 def assert_engines_agree(script, **kwargs):
-    reference = snapshot(False, script, **kwargs)
-    for engine, label in ((True, "vm"), ("plans", "plans")):
+    reference = snapshot(ENGINES[0], script, **kwargs)
+    for engine, label in zip(ENGINES[1:], ENGINE_IDS[1:]):
         assert snapshot(engine, script, **kwargs) == reference, (
             "engine %r diverged from the tree-walker on:\n%s"
             % (label, script))
@@ -208,7 +217,7 @@ class TestMidFlightMutation:
         assert_engines_agree(script, rounds=3)
 
     def test_hidden_command_fails_identically(self):
-        interps = [Interp(compile=e) for e in ENGINES]
+        interps = [Interp(**e) for e in ENGINES]
         outcomes = []
         for interp in interps:
             interp.eval("set x 1")           # warm caches on `set`
@@ -294,6 +303,24 @@ def _gen_stmt(rng, depth=0):
             "catch {nosuchcommand} msg",
         ])
         return hazard
+    if roll < 0.94:
+        # Optimizer bait: constant-set chains, foldable exprs, and
+        # constant conditions -- shapes OP_SETDEAD / OP_CONSTEXPR /
+        # W_FOLDED / precomputed-truth rewrite.
+        bait = rng.choice([
+            "set %s %d\nset %s %d\nset %s %d" % (
+                var, rng.randint(0, 9), var, rng.randint(0, 9),
+                var, rng.randint(0, 9)),
+            "set %s [expr {%d + %d * %d}]" % (
+                var, rng.randint(0, 9), rng.randint(0, 9),
+                rng.randint(0, 9)),
+            "expr {%d %% %d}" % (rng.randint(0, 99), rng.randint(1, 9)),
+            "while {0} {set %s never}" % var,
+            "if {1} {set %s taken} else {set %s nottaken}" % (var, var),
+            "incr %s [expr {%d - %d}]" % (
+                var, rng.randint(0, 9), rng.randint(0, 9)),
+        ])
+        return bait
     return "set %s [string length %s%d]" % (var, var, rng.randint(0, 99))
 
 
