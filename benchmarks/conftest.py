@@ -38,6 +38,15 @@ _XRM_RECORDS = {}
 BENCH_XRM_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_xrm.json")
 
+# BENCH_event_core.json: the unified event core artifact, written the
+# same way by bench_event_core.py through the ``event_core_record``
+# fixture (selectors backend vs the retained raw-select spec path).
+
+_EVENT_CORE_RECORDS = {}
+
+BENCH_EVENT_CORE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_event_core.json")
+
 
 @pytest.fixture
 def tcl_compile_record():
@@ -55,6 +64,16 @@ def xrm_record():
 
     def record(name, payload):
         _XRM_RECORDS[name] = payload
+
+    return record
+
+
+@pytest.fixture
+def event_core_record():
+    """Call with (workload_name, payload_dict) to add one record."""
+
+    def record(name, payload):
+        _EVENT_CORE_RECORDS[name] = payload
 
     return record
 
@@ -78,6 +97,16 @@ def pytest_sessionfinish(session, exitstatus):
             "workloads": _XRM_RECORDS,
         }
         with open(BENCH_XRM_PATH, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if _EVENT_CORE_RECORDS:
+        artifact = {
+            "schema": "wafe-event-core-bench/1",
+            "generated_unix": round(time.time(), 3),
+            "python": platform.python_version(),
+            "workloads": _EVENT_CORE_RECORDS,
+        }
+        with open(BENCH_EVENT_CORE_PATH, "w") as handle:
             json.dump(artifact, handle, indent=2, sort_keys=True)
             handle.write("\n")
 

@@ -6,8 +6,9 @@ These are the commands the paper describes individually: ``echo``,
 ``applicationShell`` (display instead of parent), and the communication
 commands ``getChannel`` / ``setCommunicationVariable`` -- plus the
 supervision commands (``restartPolicy``, ``onBackendExit``,
-``backendStatus``, ``massTransferTimeout``, ``channelHighWater``)
-documented in docs/ROBUSTNESS.md.
+``backendStatus``, ``massTransferTimeout``, ``channelHighWater``,
+``handlerTimeLimit``, ``onHandlerQuarantine``) documented in
+docs/ROBUSTNESS.md.
 """
 
 from repro.tcl.errors import TclError
@@ -331,6 +332,39 @@ def cmd_eval_limit(wafe, argv):
     return ""
 
 
+def cmd_handler_time_limit(wafe, argv):
+    """handlerTimeLimit ?ms?: the event core's slow-handler watchdog.
+
+    Every dispatched handler (input, output, timeout, work proc) is
+    timed; one exceeding the budget is reported through the error
+    channel and counted in ``info eventstats`` (0 disables).  Unlike
+    ``evalLimit`` this does not abort the handler -- it makes the
+    stall visible without changing semantics."""
+    config = wafe.supervision
+    if len(argv) == 1:
+        return str(wafe.app.core.handler_time_limit_ms)
+    if len(argv) != 2:
+        _wrong_args("handlerTimeLimit ?ms?")
+    config.set("handler_time_ms", _int_arg(argv[1], "handlerTimeLimit"))
+    wafe.app.core.handler_time_limit_ms = config.handler_time_ms
+    return ""
+
+
+def cmd_on_handler_quarantine(wafe, argv):
+    """onHandlerQuarantine ?script?: hook run when the event core
+    quarantines a handler after repeated consecutive failures.
+
+    Percent codes in the script: %k kind (input/output), %f fd,
+    %l label, %n strike count, %e error text, %% literal."""
+    config = wafe.supervision
+    if len(argv) == 1:
+        return config.on_quarantine_script or ""
+    if len(argv) != 2:
+        _wrong_args("onHandlerQuarantine ?script?")
+    config.set("on_quarantine_script", argv[1] or None)
+    return ""
+
+
 def cmd_recursion_limit(wafe, argv):
     """recursionLimit ?limit?: the Tcl evaluation nesting ceiling."""
     config = wafe.supervision
@@ -390,3 +424,5 @@ def register(wafe):
     wafe.register_command("evalLimit", cmd_eval_limit)
     wafe.register_command("recursionLimit", cmd_recursion_limit)
     wafe.register_command("safeMode", cmd_safe_mode)
+    wafe.register_command("handlerTimeLimit", cmd_handler_time_limit)
+    wafe.register_command("onHandlerQuarantine", cmd_on_handler_quarantine)

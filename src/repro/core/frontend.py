@@ -21,7 +21,6 @@ reported error -- a stalled backend can never freeze the GUI inside
 
 import collections
 import os
-import select
 import shutil
 import subprocess
 import sys
@@ -112,7 +111,8 @@ class Frontend:
         os.set_blocking(self._stdin_fd, False)
         os.set_blocking(self.process.stdout.fileno(), False)
         self._input_id = wafe.app.add_input(self.process.stdout,
-                                            self._on_readable)
+                                            self._on_readable,
+                                            label="backend stdout")
         wafe.frontend = self
         self._send_init_com()
 
@@ -307,7 +307,8 @@ class Frontend:
         if self._pending:
             if self._output_id is None:
                 self._output_id = self.wafe.app.add_output(
-                    self._stdin_fd, self._on_writable)
+                    self._stdin_fd, self._on_writable,
+                    label="backend stdin drain")
         else:
             self._cancel_output_watch()
             if self._overflowed:
@@ -339,19 +340,21 @@ class Frontend:
 
     def _drain(self, timeout=0.5):
         """Graceful-close drain: give pending output a bounded chance
-        to reach the backend before the pipe is torn down."""
+        to reach the backend before the pipe is torn down.
+
+        The wait goes through the event core's ``wait_writable`` --
+        EINTR-safe against a monotonic deadline, and returning False on
+        a dead descriptor -- so neither signal delivery nor a vanished
+        pipe can stall the close past its budget (this used to be a
+        private blocking ``select`` outside the event core)."""
         self.flush()
+        core = self.wafe.app.core
         deadline = _time.monotonic() + timeout
         while self._pending and not self.closed and not self.eof_seen:
             remaining = deadline - _time.monotonic()
             if remaining <= 0:
                 break
-            try:
-                __, writable, __ = select.select([], [self._stdin_fd], [],
-                                                 remaining)
-            except (OSError, ValueError):
-                break
-            if not writable:
+            if not core.wait_writable(self._stdin_fd, remaining):
                 break
             self._write_pending()
 
@@ -370,7 +373,8 @@ class Frontend:
             self._mass_file = os.fdopen(self._mass_read, "rb", buffering=0,
                                         closefd=False)
             self._mass_input_id = self.wafe.app.add_input(
-                self._mass_file, self._on_mass_readable)
+                self._mass_file, self._on_mass_readable,
+                label="mass transfer channel")
         self._arm_mass_watchdog()
         if self._mass_leftover:
             # Bytes that overran the previous request are the start of

@@ -111,6 +111,47 @@ def substitute_exit(script, status, restart_count, program):
     return "".join(out)
 
 
+#: Percent codes available to the ``onHandlerQuarantine`` script.
+QUARANTINE_CODES = ("k", "f", "l", "n", "e")
+
+
+def substitute_quarantine(script, kind, fd, label, strikes, exc):
+    """Expand the ``onHandlerQuarantine`` percent codes.
+
+    ``%k`` handler kind ("input"/"output"), ``%f`` the fd number,
+    ``%l`` the handler's label, ``%n`` the strike count, ``%e`` the
+    error text, ``%%`` a literal percent sign.
+    """
+    out = []
+    i = 0
+    n = len(script)
+    while i < n:
+        ch = script[i]
+        if ch == "%" and i + 1 < n:
+            code = script[i + 1]
+            if code == "%":
+                out.append("%")
+            elif code == "k":
+                out.append(str(kind))
+            elif code == "f":
+                out.append(str(fd))
+            elif code == "l":
+                out.append(label or "")
+            elif code == "n":
+                out.append(str(strikes))
+            elif code == "e":
+                out.append("%s: %s" % (type(exc).__name__, exc)
+                           if exc is not None else "")
+            else:
+                out.append(ch)
+                out.append(code)
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 class SupervisionConfig:
     """Tunable supervision knobs, shared by commands and resources.
 
@@ -141,6 +182,13 @@ class SupervisionConfig:
          None),
         ("safe_mode", "safeMode", "SafeMode", "bool", False),
         ("panic_log", "panicLog", "PanicLog", "str", None),
+        # Event-core fault knobs (docs/ROBUSTNESS.md "The event core"):
+        # the slow-handler watchdog budget and the script run when a
+        # handler is quarantined after repeated failures.
+        ("handler_time_ms", "handlerTimeLimit", "HandlerTimeLimit",
+         "int", 0),
+        ("on_quarantine_script", "onHandlerQuarantine",
+         "OnHandlerQuarantine", "str", None),
     )
 
     def __init__(self):
@@ -238,7 +286,7 @@ class BackendSupervisor:
         self._stopped = True
         self.state = "stopped"
         if self._restart_timer is not None:
-            self.wafe.app.remove_timeout(self._restart_timer)
+            self.wafe.app.core.remove_timer(self._restart_timer)
             self._restart_timer = None
         if self.frontend is not None:
             self.frontend.close()
@@ -324,8 +372,11 @@ class BackendSupervisor:
             "backend %s; restart %d/%d in %d ms"
             % (self.last_status.describe() if self.last_status else "lost",
                self.restart_count, self.config.max_restarts, delay))
-        self._restart_timer = self.wafe.app.add_timeout(
-            delay, self._attempt_restart)
+        # Scheduled on the unified event core's monotonic timer heap
+        # (immune to wall-clock jumps); the label shows up in slow-
+        # handler reports and ``info eventstats`` accounting.
+        self._restart_timer = self.wafe.app.core.add_timer(
+            delay, self._attempt_restart, label="backend restart backoff")
 
     def _attempt_restart(self):
         self._restart_timer = None

@@ -61,15 +61,17 @@ class Wafe:
     """One frontend instance (one "Wafe binary" in the paper's terms)."""
 
     def __init__(self, build="athena", app_name=None, display_name=":0",
-                 argv=None, compile=True):
+                 argv=None, compile=True, use_selectors=True):
         self.build = build
         if app_name is None:
             app_name = "wafe" if build == "athena" else "mofe"
         app_class = "Wafe" if build == "athena" else "Mofe"
         # ``compile=False`` disables the Tcl compilation layer for A/B
-        # comparison (see docs/PERFORMANCE.md).
+        # comparison (see docs/PERFORMANCE.md); ``use_selectors=False``
+        # does the same for the event core's raw-select spec path.
         self.interp = Interp(compile=compile)
-        self.app = XtAppContext(app_name, app_class, display_name)
+        self.app = XtAppContext(app_name, app_class, display_name,
+                                use_selectors=use_selectors)
         self.app.widget_destroyed = self._widget_destroyed
         self.classes = _class_table(build)
         self.widgets = {}
@@ -85,6 +87,11 @@ class Wafe:
         # timeout procs, input handlers, work procs, and action procs
         # are routed here instead of unwinding through the main loop.
         self.app.error_handler = self._xt_fault
+        # Event-core advisories (quarantines, slow handlers, fd leaks)
+        # use the ordinary error channel; a quarantine additionally
+        # fires the ``onHandlerQuarantine`` script.
+        self.app.message_hook = self.report_error
+        self.app.core.on_quarantine = self._handler_quarantined
         # The automatically created top level shell of every Wafe program.
         self.top_level = ApplicationShell("topLevel", None, app=self.app)
         self.widgets["topLevel"] = self.top_level
@@ -115,8 +122,10 @@ class Wafe:
         self.interp.commands["gV"] = self.interp.commands["getValue"]
         # ``info xrmstats`` rides the same plumbing as the built-in
         # ``info cachestats``: counters for the quark-interned resource
-        # machinery (see docs/PERFORMANCE.md).
+        # machinery (see docs/PERFORMANCE.md).  ``info eventstats``
+        # does the same for the unified event core.
         self.interp.info_extensions["xrmstats"] = self._info_xrmstats
+        self.interp.info_extensions["eventstats"] = self._info_eventstats
 
     def _info_xrmstats(self, interp, argv):
         from repro.tcl.lists import list_to_string
@@ -138,6 +147,51 @@ class Wafe:
             "cachedSearchLists", str(stats["cached_search_lists"]),
             "searches", str(stats["searches"]),
         ])
+
+    def _info_eventstats(self, interp, argv):
+        from repro.tcl.lists import list_to_string
+
+        if len(argv) == 3 and argv[2] == "reset":
+            self.app.core.reset_stats()
+            return ""
+        if len(argv) != 2:
+            raise TclError(
+                'wrong # args: should be "info eventstats ?reset?"')
+        stats = self.app.core.stats()
+        return list_to_string([
+            "backend", stats["backend"],
+            "activeInputs", str(stats["active_inputs"]),
+            "activeOutputs", str(stats["active_outputs"]),
+            "pendingTimers", str(stats["pending_timers"]),
+            "workProcs", str(stats["work_procs"]),
+            "registered", str(stats["registered"]),
+            "unregistered", str(stats["unregistered"]),
+            "dispatches", str(stats["dispatches"]),
+            "timersScheduled", str(stats["timers_scheduled"]),
+            "timersFired", str(stats["timers_fired"]),
+            "timersCancelled", str(stats["timers_cancelled"]),
+            "polls", str(stats["polls"]),
+            "handlerErrors", str(stats["handler_errors"]),
+            "quarantined", str(stats["quarantined"]),
+            "slowDispatches", str(stats["slow_dispatches"]),
+            "staleSkips", str(stats["stale_skips"]),
+            "deadFdDrops", str(stats["dead_fd_drops"]),
+            "leakedWatches", str(stats["leaked_watches"]),
+            "eintrRetries", str(stats["eintr_retries"]),
+            "handlerTimeLimitMs", str(stats["handler_time_limit_ms"]),
+            "quarantineStrikes", str(stats["quarantine_strikes"]),
+        ])
+
+    def _handler_quarantined(self, kind, fd, label, strikes, exc):
+        """The ``onHandlerQuarantine`` hook: the configured script runs
+        with the quarantine's percent codes expanded (the event core
+        has already unregistered the handler and reported the fact)."""
+        from repro.core.supervisor import substitute_quarantine
+
+        script = self.supervision.on_quarantine_script
+        if script:
+            self.run_command_line(substitute_quarantine(
+                script, kind, fd, label, strikes, exc))
 
     def _bind(self, func):
         def command(interp, argv, _func=func, _wafe=self):
@@ -307,6 +361,7 @@ class Wafe:
         config = self.supervision
         self.interp.set_eval_limits(time_ms=config.eval_time_ms,
                                     commands=config.eval_commands)
+        self.app.core.handler_time_limit_ms = config.handler_time_ms
         if config.recursion_limit:
             self.interp.set_recursion_limit(config.recursion_limit)
         if config.panic_log:
@@ -401,6 +456,10 @@ class Wafe:
             self.supervisor.stop()
         elif self.frontend is not None:
             self.frontend.close()
+        # Graceful shutdown of the event core: a bounded drain of any
+        # pending writer watches, then every remaining source is
+        # unregistered with leak accounting (``info eventstats``).
+        self.app.shutdown()
 
     def realize(self, widget=None):
         target = widget if widget is not None else self.top_level

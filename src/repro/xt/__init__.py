@@ -18,6 +18,7 @@ The public names mirror the Xt concepts:
 
 from repro.xt.app import XtAppContext
 from repro.xt.callbacks import CallbackList
+from repro.xt.eventcore import EventCore
 from repro.xt.shell import (
     ApplicationShell,
     OverrideShell,
@@ -35,6 +36,7 @@ from repro.xt.xrm import XrmDatabase
 __all__ = [
     "XtAppContext",
     "CallbackList",
+    "EventCore",
     "ApplicationShell",
     "OverrideShell",
     "Shell",

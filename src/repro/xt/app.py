@@ -6,15 +6,23 @@ loop.  Wafe's frontend mode hangs off :meth:`add_input`: the backend's
 stdout pipe is registered as an alternate input source, exactly like
 ``XtAppAddInput`` in the C implementation, so GUI events and backend
 commands interleave in one loop.
+
+Readiness dispatch and timers live in the unified
+:class:`~repro.xt.eventcore.EventCore` (one ``selectors``-based loop
+multiplexing backends, timers, and work procs, with handler quarantine
+and the slow-handler watchdog -- docs/ROBUSTNESS.md); this class keeps
+the Xt-flavoured API (``add_input``/``add_timeout``/``main_loop``) on
+top of it.
 """
 
-import select
+import sys
 import time as _time
 
 from repro.tcl.errors import TclError, log_panic
 from repro.xlib import xtypes
 from repro.xlib.display import open_display
 from repro.xt.converters import ConverterRegistry
+from repro.xt.eventcore import EventCore
 from repro.xt.xrm import XrmDatabase, quark
 
 
@@ -22,7 +30,7 @@ class XtAppContext:
     """One application context (XtCreateApplicationContext)."""
 
     def __init__(self, app_name="wafe", app_class="Wafe",
-                 display_name=":0"):
+                 display_name=":0", use_selectors=True):
         self.app_name = app_name
         self.app_class = app_class
         self.default_display = open_display(display_name)
@@ -31,14 +39,19 @@ class XtAppContext:
         self.database = XrmDatabase()
         self.global_actions = {}
         self._window_widgets = {}
-        self._timeouts = []  # (deadline, id, func, args)
-        self._inputs = {}    # id -> (fd, func)
-        self._outputs = {}   # id -> (fd, func), fd watched for writability
-        self._work_procs = []
-        self._next_id = 1
+        # The unified event core: every timer, fd watch and work proc
+        # goes through it (``use_selectors=False`` keeps the historical
+        # raw-select pass as the executable spec).
+        self.core = EventCore(use_selectors=use_selectors)
+        self.core.error_handler = self.report_exception
+        self.core.report = self.report_message
         self._quit = False
         self.event_count = 0
         self.dispatch_hook = None  # observe every dispatched event
+        # Advisory messages (quarantines, watchdog trips, fd leaks):
+        # embedders install a callable(str) here (Wafe wires its
+        # report_error); without one they go to stderr.
+        self.message_hook = None
         # The Xt-side exception firewall: embedders install a
         # handler(context, exc) here (Wafe routes Tcl errors to the
         # backend).  Without one, contained exceptions go to the panic
@@ -161,46 +174,47 @@ class XtAppContext:
 
     def add_timeout(self, interval_ms, func, *args):
         """XtAppAddTimeOut; returns an id usable with remove_timeout."""
-        timeout_id = self._next_id
-        self._next_id += 1
-        deadline = _time.monotonic() + interval_ms / 1000.0
-        self._timeouts.append((deadline, timeout_id, func, args))
-        self._timeouts.sort(key=lambda t: t[0])
-        return timeout_id
+        return self.core.add_timer(interval_ms, func, args)
 
     def remove_timeout(self, timeout_id):
-        self._timeouts = [t for t in self._timeouts if t[1] != timeout_id]
+        """Safe no-op when the timer already fired or was cancelled."""
+        self.core.remove_timer(timeout_id)
 
-    def add_input(self, fileobj, func):
+    def add_input(self, fileobj, func, label=None):
         """XtAppAddInput: call func(fileobj) when readable."""
-        input_id = self._next_id
-        self._next_id += 1
-        self._inputs[input_id] = (fileobj, func)
-        return input_id
+        return self.core.add_reader(fileobj, func, label=label)
 
     def remove_input(self, input_id):
-        self._inputs.pop(input_id, None)
+        """Safe no-op on double removal, removal from inside the
+        handler itself, or removal after quarantine."""
+        self.core.remove_watch(input_id)
 
-    def add_output(self, fileobj, func):
+    def add_output(self, fileobj, func, label=None):
         """XtAppAddInput with XtInputWriteMask: call func(fileobj) when
         the descriptor is writable (used for non-blocking pipe drains)."""
-        output_id = self._next_id
-        self._next_id += 1
-        self._outputs[output_id] = (fileobj, func)
-        return output_id
+        return self.core.add_writer(fileobj, func, label=label)
 
     def remove_output(self, output_id):
-        self._outputs.pop(output_id, None)
+        """Safe no-op when the watch is already gone."""
+        self.core.remove_watch(output_id)
 
-    def add_work_proc(self, func):
+    def add_work_proc(self, func, label=None):
         """XtAppAddWorkProc: func() -> True removes itself."""
-        work_id = self._next_id
-        self._next_id += 1
-        self._work_procs.append((work_id, func))
-        return work_id
+        return self.core.add_work_proc(func, label=label)
 
     def remove_work_proc(self, work_id):
-        self._work_procs = [w for w in self._work_procs if w[0] != work_id]
+        self.core.remove_work_proc(work_id)
+
+    # Compatibility views of the core's state (the pre-eventcore
+    # attribute shapes, still used by tests and introspection).
+
+    @property
+    def _timeouts(self):
+        return self.core.pending_timers()
+
+    @property
+    def _work_procs(self):
+        return self.core.work_proc_entries()
 
     # ------------------------------------------------------------------
     # Event dispatch
@@ -220,6 +234,18 @@ class XtAppContext:
             except Exception:  # noqa: BLE001 -- the handler of last resort
                 pass
         log_panic(context, exc)
+
+    def report_message(self, message):
+        """Advisory reporting (quarantines, slow handlers, fd leaks):
+        through the embedder's hook, or stderr standalone."""
+        hook = self.message_hook
+        if hook is not None:
+            try:
+                hook(message)
+                return
+            except Exception:  # noqa: BLE001 -- reporter of last resort
+                pass
+        sys.stderr.write("wafe: %s\n" % message)
 
     def pending(self):
         """XtAppPending-ish: X events queued right now."""
@@ -298,56 +324,6 @@ class XtAppContext:
                         return count
         return count
 
-    def _run_due_timeouts(self):
-        now = _time.monotonic()
-        fired = 0
-        while self._timeouts and self._timeouts[0][0] <= now:
-            __, __, func, args = self._timeouts.pop(0)
-            try:
-                func(*args)
-            except Exception as exc:  # noqa: BLE001 -- firewall
-                self.report_exception("timeout handler", exc)
-            fired += 1
-        return fired
-
-    def _poll_inputs(self, timeout):
-        if not self._inputs and not self._outputs:
-            if timeout:
-                _time.sleep(timeout)
-            return 0
-        in_entries = list(self._inputs.items())
-        out_entries = list(self._outputs.items())
-        read_fds = [entry[1][0] for entry in in_entries]
-        write_fds = [entry[1][0] for entry in out_entries]
-        try:
-            readable, writable, __ = select.select(read_fds, write_fds, [],
-                                                   timeout)
-        except (OSError, ValueError):
-            # A source went away; drop closed fds.
-            for input_id, (fd, __) in in_entries:
-                if getattr(fd, "closed", False):
-                    self._inputs.pop(input_id, None)
-            for output_id, (fd, __) in out_entries:
-                if getattr(fd, "closed", False):
-                    self._outputs.pop(output_id, None)
-            return 0
-        fired = 0
-        for input_id, (fd, func) in in_entries:
-            if fd in readable and input_id in self._inputs:
-                try:
-                    func(fd)
-                except Exception as exc:  # noqa: BLE001 -- firewall
-                    self.report_exception("input handler", exc)
-                fired += 1
-        for output_id, (fd, func) in out_entries:
-            if fd in writable and output_id in self._outputs:
-                try:
-                    func(fd)
-                except Exception as exc:  # noqa: BLE001 -- firewall
-                    self.report_exception("output handler", exc)
-                fired += 1
-        return fired
-
     def process_one(self, block=True):
         """XtAppProcessEvent: one X event, timer, or input."""
         if self.pending():
@@ -355,29 +331,19 @@ class XtAppContext:
                 if display.pending():
                     self.dispatch_event(display.next_event())
                     return True
-        if self._run_due_timeouts():
+        if self.core.run_due_timers():
             return True
         timeout = 0.0
         if block:
-            if self._timeouts:
-                timeout = max(0.0,
-                              self._timeouts[0][0] - _time.monotonic())
+            deadline = self.core.next_deadline()
+            if deadline is not None:
+                timeout = max(0.0, deadline - _time.monotonic())
                 timeout = min(timeout, 0.1)
             else:
                 timeout = 0.05
-        if self._poll_inputs(timeout):
+        if self.core.poll(timeout):
             return True
-        if self._work_procs:
-            work_id, func = self._work_procs[0]
-            try:
-                done = func()
-            except Exception as exc:  # noqa: BLE001 -- firewall
-                # A broken work proc is removed, not retried: left in
-                # place it would raise again on every idle pass.
-                done = True
-                self.report_exception("work proc", exc)
-            if done:
-                self.remove_work_proc(work_id)
+        if self.core.run_one_work_proc():
             return True
         return False
 
@@ -398,12 +364,17 @@ class XtAppContext:
                 idle = 0
                 continue
             idle += 1
-            has_sources = bool(self._timeouts or self._inputs or
-                               self._outputs or self._work_procs)
-            if not has_sources and self.pending() == 0:
+            if not self.core.has_sources() and self.pending() == 0:
                 return  # nothing can ever happen again
             if max_idle is not None and idle >= max_idle:
                 return
+
+    def shutdown(self, drain_timeout=0.5):
+        """Graceful shutdown: bounded drain of pending writer watches,
+        then unregister every remaining source (leaks are counted and
+        reported).  The context stays usable afterwards."""
+        self._quit = True
+        return self.core.shutdown(drain_timeout)
 
     def exit_loop(self):
         """The ``quit`` command."""
