@@ -161,27 +161,18 @@ def _timed_window(interp, script, n):
 
 
 def _watchdog_overhead_trial(plain, armed, script, n, windows=45):
-    """One paired A/B trial: the median of per-pair ratios.
+    """One paired A/B trial: the median of per-pair ratios, minus one.
 
-    On a frequency-scaling or contended CPU the absolute eval rate
-    drifts by tens of percent over a few seconds, so comparing each
-    side's best window (possibly from different thermal regimes) is
-    hopeless.  Instead each round times both sides back-to-back --
-    inside one regime -- and takes the ratio; the median over many
-    rounds discards the pairs a scheduling event landed in.  The order
-    within a pair alternates because the side measured first is
-    systematically favoured while the clock ramps."""
-    ratios = []
-    for i in range(windows):
-        if i % 2:
-            armed_s = _timed_window(armed, script, n)
-            unarmed_s = _timed_window(plain, script, n)
-        else:
-            unarmed_s = _timed_window(plain, script, n)
-            armed_s = _timed_window(armed, script, n)
-        ratios.append(armed_s / unarmed_s)
-    ratios.sort()
-    return ratios[len(ratios) // 2] - 1.0
+    Delegates to the shared ``paired_median_ratio`` estimator in
+    conftest (also used by bench_refresh.py): back-to-back pairs with
+    alternating order, median over many rounds -- the estimator that
+    survives CPU frequency drift on shared machines."""
+    from benchmarks.conftest import paired_median_ratio
+
+    return paired_median_ratio(
+        lambda: _timed_window(plain, script, n),
+        lambda: _timed_window(armed, script, n),
+        windows=windows) - 1.0
 
 
 def test_eval_limit_overhead(tcl_compile_record):

@@ -47,6 +47,45 @@ _EVENT_CORE_RECORDS = {}
 BENCH_EVENT_CORE_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_event_core.json")
 
+# BENCH_refresh.json: the damage-region rendering artifact, written the
+# same way by bench_refresh.py through the ``refresh_record`` fixture
+# (repainted pixels per incremental update on the damage path vs the
+# eager full-redraw spec, plus protocol pipelining counters and
+# round-trips/sec).
+
+_REFRESH_RECORDS = {}
+
+BENCH_REFRESH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_refresh.json")
+
+
+def paired_median_ratio(run_a, run_b, windows=45):
+    """Median of back-to-back per-pair ratios ``b/a`` -- the estimator
+    that survives CPU frequency drift.
+
+    On a frequency-scaling or contended CPU the absolute rate drifts by
+    tens of percent over a few seconds, so comparing each side's best
+    window (possibly from different thermal regimes) is hopeless.
+    Instead each round times both sides back-to-back -- inside one
+    regime -- and takes the ratio; the median over many rounds discards
+    the pairs a scheduling event landed in.  The order within a pair
+    alternates because the side measured first is systematically
+    favoured while the clock ramps.
+
+    ``run_a`` and ``run_b`` are thunks returning their elapsed seconds.
+    """
+    ratios = []
+    for i in range(windows):
+        if i % 2:
+            b_s = run_b()
+            a_s = run_a()
+        else:
+            a_s = run_a()
+            b_s = run_b()
+        ratios.append(b_s / max(a_s, 1e-12))
+    ratios.sort()
+    return ratios[len(ratios) // 2]
+
 
 @pytest.fixture
 def tcl_compile_record():
@@ -78,6 +117,22 @@ def event_core_record():
     return record
 
 
+@pytest.fixture
+def refresh_record():
+    """Call with (workload_name, payload_dict) to add one record."""
+
+    def record(name, payload):
+        _REFRESH_RECORDS[name] = payload
+
+    return record
+
+
+@pytest.fixture(name="paired_median_ratio")
+def paired_median_ratio_fixture():
+    """The shared noise-robust A/B estimator as a fixture."""
+    return paired_median_ratio
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _TCL_COMPILE_RECORDS:
         artifact = {
@@ -107,6 +162,16 @@ def pytest_sessionfinish(session, exitstatus):
             "workloads": _EVENT_CORE_RECORDS,
         }
         with open(BENCH_EVENT_CORE_PATH, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if _REFRESH_RECORDS:
+        artifact = {
+            "schema": "wafe-refresh-bench/1",
+            "generated_unix": round(time.time(), 3),
+            "python": platform.python_version(),
+            "workloads": _REFRESH_RECORDS,
+        }
+        with open(BENCH_REFRESH_PATH, "w") as handle:
             json.dump(artifact, handle, indent=2, sort_keys=True)
             handle.write("\n")
 

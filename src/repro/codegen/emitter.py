@@ -197,7 +197,10 @@ def emit_reference(specs, source="spec"):
         "reports the bytecode-VM engine, cache, and inline-cache",
         "counters, and `info bytecode disassemble script` returns the",
         "compiled listing for a script; `info xrmstats ?reset?` reports",
-        "the quark-interned Xrm resource machinery counters.  All are",
+        "the quark-interned Xrm resource machinery counters; `info",
+        "renderstats ?reset?` reports the damage-region rendering and",
+        "protocol-pipelining counters (damage rects, coalesced Expose",
+        "series, repainted pixels, pipe writes).  All are",
         "documented in docs/PERFORMANCE.md.  `info evalstats ?reset?`",
         "reports the fault-containment accounting (commands, peak",
         "nesting, limit trips, firewall catches) and `info hidden",

@@ -177,10 +177,17 @@ def cmd_widget_exists(wafe, argv):
 
 
 def cmd_sync(wafe, argv):
-    """Dispatch everything pending (useful in scripts and tests)."""
+    """Dispatch everything pending (useful in scripts and tests).
+
+    This is the protocol's sync point: accumulated damage flushes into
+    Expose events, those dispatch, and the frontend's batched output is
+    written through -- the single outbound FIFO keeps everything sent
+    before the sync ordered ahead of anything after it."""
+    for display in wafe.app.displays:
+        display.flush_damage()
     wafe.app.process_pending()
     if wafe.frontend is not None:
-        wafe.frontend.flush()
+        wafe.frontend.sync_point()
     return ""
 
 

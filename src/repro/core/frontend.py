@@ -90,6 +90,13 @@ class Frontend:
         self._output_id = None
         self._overflowed = False
         self.dropped_bytes = 0
+        # Frame-granularity pipelining: output batches until an
+        # end-of-dispatch flush (the app context's frame hook), with the
+        # idle work proc kept as a liveness backstop.  pipeline=False is
+        # the unpipelined executable spec -- every send() writes through
+        # immediately, one pipe write per line.
+        self.pipeline = True
+        self.stats = self._zero_stats()
         command = self._resolve_command(program, program_args or [])
         # The mass channel exists from the start so getChannel can
         # report a stable fd number to the application.
@@ -113,8 +120,22 @@ class Frontend:
         self._input_id = wafe.app.add_input(self.process.stdout,
                                             self._on_readable,
                                             label="backend stdout")
+        wafe.app.add_frame_hook(self._frame_flush)
         wafe.frontend = self
         self._send_init_com()
+
+    @staticmethod
+    def _zero_stats():
+        return {
+            "sends": 0,          # send() calls (echo lines, replies)
+            "pipe_writes": 0,    # successful write() syscalls
+            "bytes_written": 0,
+            "frame_flushes": 0,  # end-of-dispatch flushes with data
+            "sync_points": 0,    # explicit sync-command flushes
+        }
+
+    def reset_stats(self):
+        self.stats = self._zero_stats()
 
     @staticmethod
     def _resolve_command(program, program_args):
@@ -252,9 +273,13 @@ class Frontend:
                     "application is not reading; dropping output"
                     % self.queued_bytes())
             return
+        self.stats["sends"] += 1
         self._out_buffer.append(text)
         self._out_buffered_bytes += len(text)
-        if self._out_buffered_bytes >= self.FLUSH_THRESHOLD:
+        if not self.pipeline:
+            # Unpipelined spec path: one write per send.
+            self.flush()
+        elif self._out_buffered_bytes >= self.FLUSH_THRESHOLD:
             self.flush()
         elif self._flush_work_id is None:
             self._flush_work_id = self.wafe.app.add_work_proc(
@@ -263,6 +288,24 @@ class Frontend:
     def _idle_flush(self):
         self.flush()
         return True  # one-shot: the work proc removes itself
+
+    def _frame_flush(self):
+        """End-of-dispatch flush point: everything the frame's events
+        echoed goes out as one write."""
+        if self.closed:
+            return
+        if self._out_buffer:
+            self.stats["frame_flushes"] += 1
+            self.flush()
+
+    def sync_point(self):
+        """An explicit ``sync``: flush now.  Ordering is safe out of
+        the box because all output -- echoes, callback replies, and the
+        sync itself -- travels one FIFO buffer: everything sent before
+        this point reaches the backend before anything sent after it,
+        pipelined or not."""
+        self.stats["sync_points"] += 1
+        self.flush()
 
     def flush(self):
         """Move queued text to the wire -- as much as the pipe accepts.
@@ -299,6 +342,8 @@ class Frontend:
             if n is None:       # EAGAIN: the pipe is full
                 break
             wrote_any = True
+            self.stats["pipe_writes"] += 1
+            self.stats["bytes_written"] += n
             self._pending_bytes -= n
             if n < len(chunk):  # partial write: pipe is now full
                 self._pending[0] = chunk[n:]
@@ -485,6 +530,7 @@ class Frontend:
             return
         self._drain()
         self.closed = True
+        self.wafe.app.remove_frame_hook(self._frame_flush)
         self._clear_outbound()
         self._cancel_mass_watchdog()
         if self._mass_input_id is not None:

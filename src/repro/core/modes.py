@@ -125,7 +125,8 @@ def run_frontend(wafe, program, program_args=None, max_idle=None,
 
 
 def make_wafe(build="athena", display_name=":0", argv=None, compile=True,
-              use_selectors=True):
+              use_selectors=True, use_regions=True, naive_regions=False):
     """Construct a Wafe instance (one per process in real life)."""
     return Wafe(build=build, display_name=display_name, argv=argv,
-                compile=compile, use_selectors=use_selectors)
+                compile=compile, use_selectors=use_selectors,
+                use_regions=use_regions, naive_regions=naive_regions)

@@ -61,17 +61,23 @@ class Wafe:
     """One frontend instance (one "Wafe binary" in the paper's terms)."""
 
     def __init__(self, build="athena", app_name=None, display_name=":0",
-                 argv=None, compile=True, use_selectors=True):
+                 argv=None, compile=True, use_selectors=True,
+                 use_regions=True, naive_regions=False):
         self.build = build
         if app_name is None:
             app_name = "wafe" if build == "athena" else "mofe"
         app_class = "Wafe" if build == "athena" else "Mofe"
         # ``compile=False`` disables the Tcl compilation layer for A/B
         # comparison (see docs/PERFORMANCE.md); ``use_selectors=False``
-        # does the same for the event core's raw-select spec path.
+        # does the same for the event core's raw-select spec path;
+        # ``use_regions=False`` falls back to eager full-window exposes
+        # and ``naive_regions=True`` swaps the band Region for the
+        # rect-list spec (both for the damage-rendering A/B).
         self.interp = Interp(compile=compile)
         self.app = XtAppContext(app_name, app_class, display_name,
-                                use_selectors=use_selectors)
+                                use_selectors=use_selectors,
+                                use_regions=use_regions,
+                                naive_regions=naive_regions)
         self.app.widget_destroyed = self._widget_destroyed
         self.classes = _class_table(build)
         self.widgets = {}
@@ -126,6 +132,9 @@ class Wafe:
         # does the same for the unified event core.
         self.interp.info_extensions["xrmstats"] = self._info_xrmstats
         self.interp.info_extensions["eventstats"] = self._info_eventstats
+        # ``info renderstats``: damage-region rendering and protocol
+        # pipelining counters (see docs/PERFORMANCE.md).
+        self.interp.info_extensions["renderstats"] = self._info_renderstats
 
     def _info_xrmstats(self, interp, argv):
         from repro.tcl.lists import list_to_string
@@ -147,6 +156,49 @@ class Wafe:
             "cachedSearchLists", str(stats["cached_search_lists"]),
             "searches", str(stats["searches"]),
         ])
+
+    def _info_renderstats(self, interp, argv):
+        from repro.tcl.lists import list_to_string
+
+        display = self.app.default_display
+        if len(argv) == 3 and argv[2] == "reset":
+            display.reset_render_stats()
+            if self.frontend is not None:
+                self.frontend.reset_stats()
+            return ""
+        if len(argv) != 2:
+            raise TclError(
+                'wrong # args: should be "info renderstats ?reset?"')
+        if not display.use_regions:
+            regions = "eager"
+        elif display.naive_regions:
+            regions = "naive"
+        else:
+            regions = "band"
+        stats = display.render_stats
+        pairs = [
+            "regions", regions,
+            "damageRects", str(stats["damage_rects"]),
+            "damagePixels", str(stats["damage_pixels"]),
+            "damageFlushes", str(stats["damage_flushes"]),
+            "exposeSeries", str(stats["expose_series"]),
+            "exposeEvents", str(stats["expose_events"]),
+            "exposedPixels", str(stats["exposed_pixels"]),
+            "drawCalls", str(stats["draw_calls"]),
+            "drawnPixels", str(stats["drawn_pixels"]),
+        ]
+        frontend = self.frontend
+        if frontend is not None:
+            fstats = frontend.stats
+            pairs += [
+                "pipeline", "1" if frontend.pipeline else "0",
+                "sends", str(fstats["sends"]),
+                "pipeWrites", str(fstats["pipe_writes"]),
+                "bytesWritten", str(fstats["bytes_written"]),
+                "frameFlushes", str(fstats["frame_flushes"]),
+                "syncPoints", str(fstats["sync_points"]),
+            ]
+        return list_to_string(pairs)
 
     def _info_eventstats(self, interp, argv):
         from repro.tcl.lists import list_to_string

@@ -60,8 +60,39 @@ class Label(ThreeD):
         want_h = height or text_height + pad_y + shadow
         return (max(1, want_w), max(1, want_h))
 
+    def _text_rects(self, text):
+        """Window-relative boxes covering where ``text`` paints -- the
+        same layout arithmetic as :meth:`expose`."""
+        window = self.window
+        font = self.resources["font"]
+        inner_x = self.resources["internalWidth"] + \
+            self.resources["shadowWidth"]
+        x = inner_x
+        left = self.resources.get("leftBitmap")
+        if left is not None:
+            x += left.shape[1] + self.resources["internalWidth"] // 2 + 1
+        lines = (text or "").split("\n")
+        total_height = font.height * len(lines)
+        top = (window.height - total_height) // 2
+        rects = []
+        for line in lines:
+            line_width = font.text_width(line)
+            justify = self.resources["justify"]
+            if justify == "center":
+                draw_x = max(x, (window.width - line_width) // 2)
+            elif justify == "right":
+                draw_x = max(x, window.width - inner_x - line_width)
+            else:
+                draw_x = x
+            rects.append((draw_x, top, draw_x + line_width,
+                          top + font.height))
+            top += font.height
+        return rects
+
     def set_values_hook(self, old, changed):
-        if "label" in changed and self.resources["resize"] and self.realized:
+        if "label" not in changed:
+            return False
+        if self.resources["resize"] and self.realized:
             width, height = self.preferred_size()
             current_w = self.window.width if self.window else 0
             if width > current_w:
@@ -70,6 +101,21 @@ class Label(ThreeD):
                     self.window.configure(width=width)
                 if self.parent is not None:
                     self.parent.layout()
+                return False  # geometry changed: full redraw
+        # Text-only change on the damage path: repaint just the union of
+        # the old and new text extents.  Only for plain Labels -- a
+        # subclass with its own expose may place text differently.
+        if (changed == ["label"] and self.realized
+                and self.window is not None
+                and self.window.display.use_regions
+                and type(self).expose is Label.expose
+                and self.resources.get("bitmap") is None
+                and old.get("label") != self.resources.get("label")):
+            rects = self._text_rects(old.get("label"))
+            rects += self._text_rects(self.label_text())
+            self.update_rects(rects)
+            return True
+        return False
 
     def expose(self, event):
         window = self.window

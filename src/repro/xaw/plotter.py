@@ -44,12 +44,25 @@ class _Graph(ThreeD):
         return out
 
     def set_data(self, items):
+        old_values = self.values()
         self.resources["data"] = [str(i) for i in items]
-        if self.realized:
-            self.redraw()
+        if not self.realized or self.window is None:
+            return
+        if self.window.display.use_regions:
+            rects = self._append_rects(old_values, self.values())
+            if rects is not None:
+                self.update_rects(rects)
+                return
+        self.redraw()
 
-    def value_range(self):
-        values = self.values()
+    def _append_rects(self, old_values, new_values):
+        """Damage rects when the new data strictly appends to the old
+        at an unchanged scale; None means a full redraw is required."""
+        return None
+
+    def value_range(self, values=None):
+        if values is None:
+            values = self.values()
         low = self.resources["minValue"]
         high = self.resources["maxValue"]
         if high <= low:
@@ -127,7 +140,24 @@ class LineGraph(_Graph):
     CLASS_NAME = "LineGraph"
     RESOURCES = [
         res("lineWidth", R.R_DIMENSION, 1),
+        # 0 spreads the points over the plot width (every append moves
+        # every point); a positive value pins point i at x0 + i*spacing,
+        # the scrolling-plot layout where an append only adds one
+        # segment -- and therefore only damages that segment.
+        res("pointSpacing", R.R_DIMENSION, 0),
     ]
+
+    def _points(self, values):
+        x0, y0, width, height = self.plot_area()
+        low, high = self.value_range(values)
+        spacing = self.resources["pointSpacing"]
+        step = spacing if spacing > 0 else width / max(1, len(values) - 1)
+        points = []
+        for i, value in enumerate(values):
+            fraction = max(0.0, min(1.0, (value - low) / (high - low)))
+            points.append((int(x0 + i * step),
+                           int(y0 + height - height * fraction)))
+        return points
 
     def expose(self, event):
         window = self.window
@@ -138,14 +168,25 @@ class LineGraph(_Graph):
         values = self.values()
         if len(values) < 2:
             return
-        x0, y0, width, height = self.plot_area()
-        low, high = self.value_range()
         gc = gfx.GC(foreground=self.resources["graphColor"])
         gc.line_width = self.resources["lineWidth"]
-        step = width / (len(values) - 1)
-        points = []
-        for i, value in enumerate(values):
-            fraction = max(0.0, min(1.0, (value - low) / (high - low)))
-            points.append((int(x0 + i * step),
-                           int(y0 + height - height * fraction)))
-        gfx.draw_lines(window, gc, points)
+        gfx.draw_lines(window, gc, self._points(values))
+
+    def _append_rects(self, old_values, new_values):
+        if self.resources["pointSpacing"] <= 0:
+            return None
+        n_old = len(old_values)
+        if n_old < 2 or n_old >= len(new_values):
+            return None
+        if new_values[:n_old] != old_values:
+            return None
+        if self.value_range(old_values) != self.value_range(new_values):
+            return None  # the scale moved: every segment moves
+        pen = max(1, self.resources["lineWidth"])
+        points = self._points(new_values)
+        rects = []
+        for i in range(n_old - 1, len(points) - 1):
+            (ax, ay), (bx, by) = points[i], points[i + 1]
+            rects.append((min(ax, bx), min(ay, by),
+                          max(ax, bx) + pen, max(ay, by) + pen))
+        return rects

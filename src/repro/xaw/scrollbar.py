@@ -66,14 +66,46 @@ class Scrollbar(ThreeD):
                     else self.window.width)
         return self.resources["length"]
 
+    def _thumb_rect(self):
+        """The thumb's window-relative half-open box."""
+        window = self.window
+        length = self.length()
+        top = int(self.resources["topOfThumb"] * length)
+        size = max(self.resources["minimumThumb"],
+                   int(self.resources["shown"] * length))
+        if self.vertical():
+            return (1, top, max(1, window.width - 1), top + size)
+        return (top, 1, top + size, max(1, window.height - 1))
+
     def set_thumb(self, top=None, shown=None):
-        """XawScrollbarSetThumb."""
+        """XawScrollbarSetThumb.
+
+        A realized thumb move repaints only the symmetric difference of
+        the old and new thumb rectangles -- the overlap already shows
+        the right pixels -- so a 1-pixel drag step damages two thin
+        strips instead of the whole gutter."""
+        old_rect = (self._thumb_rect()
+                    if self.realized and self.window is not None else None)
         if top is not None:
             self.resources["topOfThumb"] = max(0.0, min(1.0, float(top)))
         if shown is not None:
             self.resources["shown"] = max(0.0, min(1.0, float(shown)))
-        if self.realized:
+        if not self.realized or self.window is None:
+            return
+        display = self.window.display
+        if old_rect is None or not display.use_regions:
             self.redraw()
+            return
+        new_rect = self._thumb_rect()
+        if new_rect == old_rect:
+            return
+        stale = display.new_region()
+        stale.add_rect(*old_rect)
+        stale.subtract_rect(*new_rect)
+        grown = display.new_region()
+        grown.add_rect(*new_rect)
+        grown.subtract_rect(*old_rect)
+        self.update_rects(stale.rects() + grown.rects())
 
     def preferred_size(self):
         thickness = self.resources["thickness"]
@@ -133,20 +165,38 @@ class StripChart(ThreeD):
         self.sample()
         self._schedule()
 
+    def _scale(self):
+        return max(self.resources["minScale"],
+                   max(self.samples) if self.samples else 1, 1)
+
     def sample(self):
-        """Ask getValue for one sample (call_data is a one-slot list)."""
+        """Ask getValue for one sample (call_data is a one-slot list).
+
+        While the chart is filling left to right at a stable scale, the
+        new sample only damages its own one-pixel column; a scale change
+        or jump scroll still redraws everything."""
         holder = [0.0]
         self.call_callbacks("getValue", holder)
         try:
             value = float(holder[0])
         except (TypeError, ValueError):
             value = 0.0
+        old_scale = self._scale()
+        old_count = len(self.samples)
         self.samples.append(value)
         limit = self.window.width if self.window is not None else 100
-        if len(self.samples) > max(10, limit):
+        trimmed = len(self.samples) > max(10, limit)
+        if trimmed:
             self.samples = self.samples[-limit:]
-        if self.realized:
-            self.redraw()
+        if self.realized and self.window is not None:
+            display = self.window.display
+            if (display.use_regions and not trimmed
+                    and self._scale() == old_scale
+                    and old_count < self.window.width):
+                self.update_rects([(old_count, 0, old_count + 1,
+                                    self.window.height)])
+            else:
+                self.redraw()
         return value
 
     def expose(self, event):

@@ -19,6 +19,7 @@ import numpy
 from repro.xlib import keysym as _keysym
 from repro.xlib import xtypes
 from repro.xlib.events import XEvent
+from repro.xlib.region import NaiveRegion, Region
 
 
 class XError(Exception):
@@ -46,6 +47,14 @@ class Window:
         self.background_pixel = 0xFFFFFF
         self.properties = {}
         self.override_redirect = False
+        # "forget": any resize invalidates the whole window (the safe
+        # default for size-dependent drawing such as centered text).
+        # "northwest": content is anchored at the origin, so a resize
+        # only damages the newly revealed L-shaped strip (new \ old).
+        self.bit_gravity = "forget"
+        # While a widget repaints one damage rect, the toolkit installs
+        # the rect here and every drawing primitive clips against it.
+        self.paint_clip = None
         if parent is not None:
             parent.children.append(self)
 
@@ -80,7 +89,7 @@ class Window:
         self.mapped = True
         self.display._notify_structure(self, xtypes.MapNotify)
         if self.viewable():
-            self.display.expose(self)
+            self.display.damage_subtree(self)
 
     def unmap(self):
         if not self.mapped:
@@ -102,6 +111,8 @@ class Window:
 
     def configure(self, x=None, y=None, width=None, height=None,
                   border_width=None):
+        old_x, old_y = self.x, self.y
+        old_w, old_h = self.width, self.height
         changed = False
         for attr, value in (("x", x), ("y", y), ("width", width),
                             ("height", height), ("border_width", border_width)):
@@ -111,12 +122,39 @@ class Window:
         if changed:
             self.display._notify_structure(self, xtypes.ConfigureNotify)
             if self.viewable():
-                self.display.expose(self)
+                self.display.damage_configure(self, old_x, old_y,
+                                              old_w, old_h)
 
     def raise_window(self):
-        if self.parent is not None:
-            self.parent.children.remove(self)
-            self.parent.children.append(self)
+        """Restack on top of the siblings, damaging the area that the
+        formerly overlapping siblings revealed (old occlusion algebra:
+        only the region previously covered by later siblings needs a
+        repaint -- already-topmost pixels are still correct)."""
+        parent = self.parent
+        if parent is None or parent.children[-1] is self:
+            return
+        display = self.display
+        revealed = None
+        if display.use_regions and self.viewable():
+            index = parent.children.index(self)
+            ox, oy = self.absolute_origin()
+            revealed = display.new_region()
+            for sibling in parent.children[index + 1:]:
+                if not sibling.mapped or sibling.destroyed:
+                    continue
+                sx, sy = sibling.absolute_origin()
+                revealed.add_rect(sx - ox, sy - oy,
+                                  sx - ox + sibling.width,
+                                  sy - oy + sibling.height)
+            revealed.intersect_rect(0, 0, self.width, self.height)
+        parent.children.remove(self)
+        parent.children.append(self)
+        if revealed is not None:
+            if not revealed.is_empty():
+                display.damage_region_subtree(self, revealed)
+        elif self.viewable():
+            # Eager-expose spec path: repaint the whole subtree.
+            display.expose(self)
 
     def select_input(self, event_mask):
         self.event_mask = event_mask
@@ -146,8 +184,18 @@ class Screen:
 class Display:
     """One virtual X server connection."""
 
-    def __init__(self, name=":0"):
+    def __init__(self, name=":0", use_regions=True, naive_regions=False):
         self.name = name
+        # use_regions=False is the eager-expose executable spec: every
+        # map/configure/raise immediately queues full-window exposes for
+        # the whole subtree, exactly as before the damage subsystem.
+        # naive_regions=True keeps damage tracking but swaps the band
+        # Region for the rect-list spec (differential testing).
+        self.use_regions = use_regions
+        self.naive_regions = naive_regions
+        self._damage = {}  # wid -> (window, region), insertion ordered
+        self._in_damage_flush = False
+        self.render_stats = self._zero_render_stats()
         self.screen = Screen(self)
         self.queue = collections.deque()
         self._time = itertools.count(1000)
@@ -182,6 +230,7 @@ class Display:
             self.focus_window = None
         if self.grab_window is window:
             self.grab_window = None
+        self._damage.pop(window.wid, None)
         self.queue = collections.deque(
             e for e in self.queue if e.window is not window
         )
@@ -213,35 +262,206 @@ class Display:
             self.event_hook(event)
 
     def pending(self):
+        self.flush_damage()
         return len(self.queue)
 
     def next_event(self):
+        self.flush_damage()
         if not self.queue:
             raise XError("event queue empty")
         return self.queue.popleft()
 
     def flush(self):
-        """No-op: the simulation is synchronous."""
+        """Flush accumulated damage into Expose events."""
+        self.flush_damage()
 
     def sync(self):
-        """No-op: the simulation is synchronous."""
+        """Flush accumulated damage into Expose events."""
+        self.flush_damage()
 
     def _notify_structure(self, window, event_type):
         if window.event_mask & xtypes.StructureNotifyMask:
             self.put_event(XEvent(event_type, window,
                                   width=window.width, height=window.height))
 
+    # ------------------------------------------------------------------
+    # Damage tracking
+
+    def new_region(self):
+        return NaiveRegion() if self.naive_regions else Region()
+
+    @staticmethod
+    def _zero_render_stats():
+        return {
+            "damage_rects": 0,     # rects reported into the accumulator
+            "damage_pixels": 0,    # their clipped area (pre-coalescing)
+            "expose_series": 0,    # coalesced per-window Expose series
+            "expose_events": 0,    # Expose events emitted
+            "exposed_pixels": 0,   # area carried by those events
+            "draw_calls": 0,       # clipped drawing primitives executed
+            "drawn_pixels": 0,     # framebuffer pixels actually written
+            "damage_flushes": 0,   # flush points that found damage
+        }
+
+    def reset_render_stats(self):
+        self.render_stats = self._zero_render_stats()
+
+    def record_draw(self, box):
+        """Called by graphics primitives with the clipped absolute box."""
+        stats = self.render_stats
+        stats["draw_calls"] += 1
+        stats["drawn_pixels"] += (box[2] - box[0]) * (box[3] - box[1])
+
+    def damage_rect(self, window, x, y, width, height):
+        """Report a window-relative dirty rect.
+
+        On the damage path it accumulates per-window until a flush point
+        coalesces it into a minimal Expose series; on the eager spec
+        path it degrades to an immediate full-window Expose."""
+        if window.destroyed or not window.viewable():
+            return
+        if not self.use_regions:
+            if window.event_mask & xtypes.ExposureMask:
+                self._emit_expose(window, 0, 0, window.width, window.height,
+                                  0)
+            return
+        x0, y0 = max(0, x), max(0, y)
+        x1 = min(window.width, x + width)
+        y1 = min(window.height, y + height)
+        if x0 >= x1 or y0 >= y1:
+            return
+        stats = self.render_stats
+        stats["damage_rects"] += 1
+        stats["damage_pixels"] += (x1 - x0) * (y1 - y0)
+        entry = self._damage.get(window.wid)
+        if entry is None:
+            region = self.new_region()
+            region.add_rect(x0, y0, x1, y1)
+            self._damage[window.wid] = (window, region)
+        else:
+            entry[1].add_rect(x0, y0, x1, y1)
+
+    def damage_window(self, window):
+        self.damage_rect(window, 0, 0, window.width, window.height)
+
+    def damage_region(self, window, region):
+        """Report a whole region (window-relative) of damage."""
+        for x0, y0, x1, y1 in region.rects():
+            self.damage_rect(window, x0, y0, x1 - x0, y1 - y0)
+
+    def damage_subtree(self, window):
+        """Full damage for a window and its mapped descendants (map,
+        move: every absolute pixel position changed)."""
+        if not self.use_regions:
+            self.expose(window)
+            return
+        self.damage_window(window)
+        for child in window.children:
+            if child.mapped and not child.destroyed:
+                self.damage_subtree(child)
+
+    def damage_region_subtree(self, window, region):
+        """Damage a region of a window plus the parts of descendants it
+        overlaps (region is window-relative)."""
+        self.damage_region(window, region)
+        for child in window.children:
+            if not child.mapped or child.destroyed:
+                continue
+            sub = region.copy()
+            sub.translate(-child.x, -child.y)
+            sub.intersect_rect(0, 0, child.width, child.height)
+            if not sub.is_empty():
+                self.damage_region_subtree(child, sub)
+
+    def damage_configure(self, window, old_x, old_y, old_w, old_h):
+        """Damage after a configure using old-geometry algebra."""
+        if not self.use_regions:
+            self.expose(window)
+            return
+        if (window.x, window.y) != (old_x, old_y):
+            # Window content does not move with the window on the shared
+            # screen framebuffer, so a move invalidates everything the
+            # subtree will repaint at its new absolute position.
+            self.damage_subtree(window)
+        elif (window.width, window.height) != (old_w, old_h):
+            if window.bit_gravity == "northwest":
+                # Origin-anchored content: only new \ old is stale.
+                grown = self.new_region()
+                grown.add_rect(0, 0, window.width, window.height)
+                grown.subtract_rect(0, 0, old_w, old_h)
+                self.damage_region_subtree(window, grown)
+            else:
+                # A repainting parent overwrites its children's pixels
+                # on the shared framebuffer, so the whole subtree must
+                # repaint -- the same recursion the eager expose() does.
+                self.damage_subtree(window)
+        # A border_width-only change paints nothing in this simulation.
+
+    def take_expose_series(self, window, region):
+        """Coalesce a region into a count-series of Expose events
+        (returned, not queued).  All but the last event carry a positive
+        ``count`` -- the X contract letting clients defer redraw until
+        the series ends."""
+        rects = region.rects()
+        events = []
+        if not rects:
+            return events
+        stats = self.render_stats
+        stats["expose_series"] += 1
+        total = len(rects)
+        for i, (x0, y0, x1, y1) in enumerate(rects):
+            stats["expose_events"] += 1
+            stats["exposed_pixels"] += (x1 - x0) * (y1 - y0)
+            events.append(XEvent(xtypes.Expose, window, x=x0, y=y0,
+                                 width=x1 - x0, height=y1 - y0,
+                                 count=total - 1 - i))
+        return events
+
+    def flush_damage(self):
+        """Flush point: coalesce accumulated damage into minimal Expose
+        series and queue them.  Runs automatically before the queue is
+        inspected, so callers of pending()/next_event() always observe
+        the events their damage implies."""
+        if not self._damage or self._in_damage_flush:
+            return
+        self._in_damage_flush = True
+        try:
+            while self._damage:
+                damage, self._damage = self._damage, {}
+                self.render_stats["damage_flushes"] += 1
+                for window, region in damage.values():
+                    if window.destroyed or not window.viewable():
+                        continue
+                    if not (window.event_mask & xtypes.ExposureMask):
+                        continue
+                    for event in self.take_expose_series(window, region):
+                        self.put_event(event)
+        finally:
+            self._in_damage_flush = False
+
+    def _emit_expose(self, window, x, y, width, height, count):
+        stats = self.render_stats
+        stats["expose_events"] += 1
+        stats["exposed_pixels"] += width * height
+        self.put_event(XEvent(xtypes.Expose, window, x=x, y=y, width=width,
+                              height=height, count=count))
+
     def expose(self, window, x=0, y=0, width=None, height=None, count=0):
-        """Queue an Expose for a window (and viewable descendants)."""
+        """Queue an Expose for a window (and viewable descendants).
+
+        This is the eager path (the ``use_regions=False`` executable
+        spec, and explicit full-subtree repaints).  Each window receives
+        exactly one full event, so per-window series trivially end with
+        ``count=0`` as the X contract requires."""
         if not window.viewable():
             return
         if window.event_mask & xtypes.ExposureMask:
-            self.put_event(XEvent(
-                xtypes.Expose, window, x=x, y=y,
-                width=window.width if width is None else width,
-                height=window.height if height is None else height,
-                count=count,
-            ))
+            self._emit_expose(
+                window, x, y,
+                window.width if width is None else width,
+                window.height if height is None else height,
+                count,
+            )
         for child in window.children:
             if child.mapped:
                 self.expose(child)
@@ -416,6 +636,7 @@ class Display:
     def close(self):
         self.closed = True
         self.queue.clear()
+        self._damage.clear()
 
 
 _displays = {}

@@ -45,22 +45,32 @@ class GC:
 
 
 def _target(drawable):
-    """Resolve a drawable to (array, origin_x, origin_y, clip_w, clip_h)."""
+    """Resolve a drawable to
+    (array, origin_x, origin_y, clip_w, clip_h, window_or_None)."""
     if isinstance(drawable, Pixmap):
-        return (drawable.framebuffer, 0, 0, drawable.width, drawable.height)
+        return (drawable.framebuffer, 0, 0, drawable.width, drawable.height,
+                None)
     if isinstance(drawable, Window):
         ox, oy = drawable.absolute_origin()
         return (drawable.display.screen.framebuffer, ox, oy,
-                drawable.width, drawable.height)
+                drawable.width, drawable.height, drawable)
     raise TypeError("not a drawable: %r" % (drawable,))
 
 
-def _clip_rect(fb, ox, oy, cw, ch, x, y, w, h):
-    """Intersect a drawable-relative rect with the clip and framebuffer."""
+def _clip_rect(fb, ox, oy, cw, ch, x, y, w, h, clip=None):
+    """Intersect a drawable-relative rect with the clip and framebuffer.
+
+    ``clip`` is an optional extra drawable-relative box (x0, y0, x1, y1)
+    -- the damage rect a widget is currently repainting."""
     x0 = max(0, x)
     y0 = max(0, y)
     x1 = min(cw, x + w)
     y1 = min(ch, y + h)
+    if clip is not None:
+        x0 = max(x0, clip[0])
+        y0 = max(y0, clip[1])
+        x1 = min(x1, clip[2])
+        y1 = min(y1, clip[3])
     ax0, ay0 = ox + x0, oy + y0
     ax1, ay1 = ox + x1, oy + y1
     fh, fw = fb.shape
@@ -71,23 +81,34 @@ def _clip_rect(fb, ox, oy, cw, ch, x, y, w, h):
     return ax0, ay0, ax1, ay1
 
 
+def _paint_box(target, x, y, w, h):
+    """Clip a paint rect against the window's active damage clip and
+    record the pixels actually written.  ``target`` is a resolved
+    ``_target()`` tuple."""
+    fb, ox, oy, cw, ch, window = target
+    box = _clip_rect(fb, ox, oy, cw, ch, x, y, w, h,
+                     None if window is None else window.paint_clip)
+    if box is not None and window is not None:
+        window.display.record_draw(box)
+    return fb, box
+
+
 def fill_rectangle(drawable, gc, x, y, width, height):
-    fb, ox, oy, cw, ch = _target(drawable)
-    box = _clip_rect(fb, ox, oy, cw, ch, x, y, width, height)
+    fb, box = _paint_box(_target(drawable), x, y, width, height)
     if box is not None:
         ax0, ay0, ax1, ay1 = box
         fb[ay0:ay1, ax0:ax1] = gc.foreground
 
 
 def clear_area(drawable, x=0, y=0, width=None, height=None, pixel=None):
-    fb, ox, oy, cw, ch = _target(drawable)
+    target = _target(drawable)
     if width is None:
-        width = cw
+        width = target[3]
     if height is None:
-        height = ch
+        height = target[4]
     if pixel is None:
         pixel = getattr(drawable, "background_pixel", 0xFFFFFF)
-    box = _clip_rect(fb, ox, oy, cw, ch, x, y, width, height)
+    fb, box = _paint_box(target, x, y, width, height)
     if box is not None:
         ax0, ay0, ax1, ay1 = box
         fb[ay0:ay1, ax0:ax1] = pixel
@@ -183,19 +204,23 @@ def draw_image_string(drawable, gc, x, y, text):
 
 
 def copy_area(src, dest, gc, src_x, src_y, width, height, dest_x, dest_y):
-    sfb, sox, soy, scw, sch = _target(src)
+    sfb, sox, soy, scw, sch, _swin = _target(src)
+    # The source is read, not painted: no paint clip, no draw record.
     src_box = _clip_rect(sfb, sox, soy, scw, sch, src_x, src_y, width, height)
     if src_box is None:
         return
     ax0, ay0, ax1, ay1 = src_box
     tile = sfb[ay0:ay1, ax0:ax1].copy()
-    dfb, dox, doy, dcw, dch = _target(dest)
-    dst_box = _clip_rect(dfb, dox, doy, dcw, dch, dest_x, dest_y,
-                         ax1 - ax0, ay1 - ay0)
+    dtarget = _target(dest)
+    dox, doy = dtarget[1], dtarget[2]
+    dfb, dst_box = _paint_box(dtarget, dest_x, dest_y, ax1 - ax0, ay1 - ay0)
     if dst_box is None:
         return
     bx0, by0, bx1, by1 = dst_box
-    dfb[by0:by1, bx0:bx1] = tile[: by1 - by0, : bx1 - bx0]
+    tx0 = bx0 - (dox + dest_x)
+    ty0 = by0 - (doy + dest_y)
+    dfb[by0:by1, bx0:bx1] = tile[ty0 : ty0 + (by1 - by0),
+                                 tx0 : tx0 + (bx1 - bx0)]
 
 
 def put_image(drawable, gc, image, x, y):
@@ -207,8 +232,9 @@ def put_image(drawable, gc, image, x, y):
     from repro.xlib.xpm import TRANSPARENT
 
     height, width = image.shape
-    fb, ox, oy, cw, ch = _target(drawable)
-    box = _clip_rect(fb, ox, oy, cw, ch, x, y, width, height)
+    target = _target(drawable)
+    ox, oy = target[1], target[2]
+    fb, box = _paint_box(target, x, y, width, height)
     if box is None:
         return
     ax0, ay0, ax1, ay1 = box
@@ -221,8 +247,11 @@ def put_image(drawable, gc, image, x, y):
 
 
 def window_pixels(window):
-    """Snapshot a window's rectangle of the framebuffer (for tests)."""
-    fb, ox, oy, cw, ch = _target(window)
+    """Snapshot a window's rectangle of the framebuffer (for tests).
+
+    Always the full window: the paint clip applies to painting, not to
+    reading back."""
+    fb, ox, oy, cw, ch, _win = _target(window)
     fh, fw = fb.shape
     x0, y0 = max(0, ox), max(0, oy)
     x1, y1 = min(fw, ox + cw), min(fh, oy + ch)

@@ -30,10 +30,17 @@ class XtAppContext:
     """One application context (XtCreateApplicationContext)."""
 
     def __init__(self, app_name="wafe", app_class="Wafe",
-                 display_name=":0", use_selectors=True):
+                 display_name=":0", use_selectors=True, use_regions=True,
+                 naive_regions=False):
         self.app_name = app_name
         self.app_class = app_class
+        # Damage-rendering A/B hatches, applied to every display this
+        # context opens (use_regions=False is the eager-expose spec,
+        # naive_regions=True swaps in the rect-list region spec).
+        self.use_regions = use_regions
+        self.naive_regions = naive_regions
         self.default_display = open_display(display_name)
+        self._apply_region_mode(self.default_display)
         self.displays = [self.default_display]
         self.converters = ConverterRegistry()
         self.database = XrmDatabase()
@@ -57,13 +64,22 @@ class XtAppContext:
         # backend).  Without one, contained exceptions go to the panic
         # log -- never up through the event loop.
         self.error_handler = None
+        # Frame hooks run at end-of-dispatch boundaries (the event queue
+        # just drained): the frontend batches its protocol output until
+        # here, giving frame-granularity pipelining.
+        self.frame_hooks = []
 
     # ------------------------------------------------------------------
     # Displays / widgets
 
+    def _apply_region_mode(self, display):
+        display.use_regions = self.use_regions
+        display.naive_regions = self.naive_regions
+
     def use_display(self, name):
         display = open_display(name)
         if display not in self.displays:
+            self._apply_region_mode(display)
             self.displays.append(display)
         return display
 
@@ -309,6 +325,24 @@ class XtAppContext:
                 self.report_exception('action "%s"' % name, exc)
         return True
 
+    def add_frame_hook(self, func):
+        """Register a callable run at every end-of-dispatch boundary."""
+        if func not in self.frame_hooks:
+            self.frame_hooks.append(func)
+
+    def remove_frame_hook(self, func):
+        if func in self.frame_hooks:
+            self.frame_hooks.remove(func)
+
+    def end_frame(self):
+        """The event queue just drained: run the frame hooks (protocol
+        output flush points).  Hook failures are contained."""
+        for hook in list(self.frame_hooks):
+            try:
+                hook()
+            except Exception as exc:  # noqa: BLE001 -- firewall
+                self.report_exception("frame hook", exc)
+
     def process_pending(self, max_events=None):
         """Dispatch every queued X event; returns how many."""
         count = 0
@@ -321,7 +355,9 @@ class XtAppContext:
                     count += 1
                     progress = True
                     if max_events is not None and count >= max_events:
+                        self.end_frame()
                         return count
+        self.end_frame()
         return count
 
     def process_one(self, block=True):
@@ -330,11 +366,18 @@ class XtAppContext:
             for display in self.displays:
                 if display.pending():
                     self.dispatch_event(display.next_event())
+                    if self.pending() == 0:
+                        self.end_frame()
                     return True
         if self.core.run_due_timers():
             return True
         timeout = 0.0
         if block:
+            # Xlib flushes its output buffer before blocking in select;
+            # the frame hooks are our XFlush, so pipelined protocol
+            # output cannot stall a round trip waiting for the poll
+            # timeout.
+            self.end_frame()
             deadline = self.core.next_deadline()
             if deadline is not None:
                 timeout = max(0.0, deadline - _time.monotonic())

@@ -168,6 +168,61 @@ class TestDrawing:
         assert pixmap.framebuffer[0, 0] == 0
 
 
+class TestClipRect:
+    """Edge cases of the low-level clip helper.  The framebuffer is
+    200x150 (fw=200, fh=150); the drawable sits at origin (10, 10) with
+    a 100x80 clip, mirroring the ``window`` fixture."""
+
+    def _clip(self, x, y, w, h, ox=10, oy=10, cw=100, ch=80, clip=None,
+              fb_shape=(150, 200)):
+        from repro.xlib.graphics import _clip_rect
+
+        fb = numpy.zeros(fb_shape, dtype=numpy.uint32)
+        return _clip_rect(fb, ox, oy, cw, ch, x, y, w, h, clip=clip)
+
+    def test_interior_rect_untouched(self):
+        assert self._clip(5, 6, 20, 10) == (15, 16, 35, 26)
+
+    def test_negative_origin_clipped_to_drawable(self):
+        assert self._clip(-7, -3, 20, 10) == (10, 10, 23, 17)
+
+    def test_zero_width_rejected(self):
+        assert self._clip(5, 5, 0, 10) is None
+
+    def test_negative_extent_rejected(self):
+        assert self._clip(5, 5, -4, 10) is None
+        assert self._clip(5, 5, 10, -1) is None
+
+    def test_rect_fully_outside_clip_rejected(self):
+        assert self._clip(100, 0, 10, 10) is None   # past the right edge
+        assert self._clip(0, 80, 10, 10) is None    # past the bottom
+        assert self._clip(-30, 0, 20, 10) is None   # entirely left of it
+
+    def test_rect_spilling_past_clip_truncated(self):
+        assert self._clip(90, 70, 50, 50) == (100, 80, 110, 90)
+
+    def test_window_larger_than_framebuffer(self):
+        # A 500x400 "window" on the 200x150 framebuffer: painting its
+        # full extent must stop at the framebuffer edges.
+        assert self._clip(0, 0, 500, 400, ox=0, oy=0, cw=500, ch=400) == \
+            (0, 0, 200, 150)
+
+    def test_window_hanging_off_framebuffer_origin(self):
+        # Drawable origin above/left of the framebuffer (negative
+        # absolute coordinates).
+        assert self._clip(0, 0, 30, 30, ox=-20, oy=-25) == (0, 0, 10, 5)
+
+    def test_damage_clip_intersects(self):
+        assert self._clip(0, 0, 50, 50, clip=(10, 20, 30, 40)) == \
+            (20, 30, 40, 50)
+
+    def test_damage_clip_disjoint_rejects(self):
+        assert self._clip(0, 0, 10, 10, clip=(50, 50, 60, 60)) is None
+
+    def test_empty_damage_clip_rejects(self):
+        assert self._clip(0, 0, 50, 50, clip=(5, 5, 5, 40)) is None
+
+
 _XPM = """/* XPM */
 static char * test[] = {
 "4 3 3 1",
