@@ -58,6 +58,17 @@ _REFRESH_RECORDS = {}
 BENCH_REFRESH_PATH = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_refresh.json")
 
+# BENCH_server.json: the multi-session server artifact, written the
+# same way by bench_multi_app.py through the ``server_record`` fixture
+# (concurrent-session count, command throughput, client round-trip
+# p50/p99 with a hostile quota-tripping neighbor, and the zero-leak
+# drain result).
+
+_SERVER_RECORDS = {}
+
+BENCH_SERVER_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_server.json")
+
 
 def paired_median_ratio(run_a, run_b, windows=45):
     """Median of back-to-back per-pair ratios ``b/a`` -- the estimator
@@ -127,6 +138,16 @@ def refresh_record():
     return record
 
 
+@pytest.fixture
+def server_record():
+    """Call with (workload_name, payload_dict) to add one record."""
+
+    def record(name, payload):
+        _SERVER_RECORDS[name] = payload
+
+    return record
+
+
 @pytest.fixture(name="paired_median_ratio")
 def paired_median_ratio_fixture():
     """The shared noise-robust A/B estimator as a fixture."""
@@ -172,6 +193,16 @@ def pytest_sessionfinish(session, exitstatus):
             "workloads": _REFRESH_RECORDS,
         }
         with open(BENCH_REFRESH_PATH, "w") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if _SERVER_RECORDS:
+        artifact = {
+            "schema": "wafe-server-bench/1",
+            "generated_unix": round(time.time(), 3),
+            "python": platform.python_version(),
+            "workloads": _SERVER_RECORDS,
+        }
+        with open(BENCH_SERVER_PATH, "w") as handle:
             json.dump(artifact, handle, indent=2, sort_keys=True)
             handle.write("\n")
 

@@ -207,7 +207,12 @@ def emit_reference(specs, source="spec"):
         "?pattern?` lists safe-mode-hidden commands; `evalLimit",
         "?timeMs? ?commands?`, `recursionLimit ?limit?`, and `safeMode",
         "?on?` configure the limits at runtime.  All are documented in",
-        "docs/ROBUSTNESS.md.",
+        "docs/ROBUSTNESS.md.  Under `wafe --serve` (the multi-session",
+        "server) each connected client additionally has `sessionQuota",
+        "?name? ?value?` to inspect or tune its own resource budget and",
+        "`info serverstats` for the shared server ledger (sessions",
+        "accepted/active/refused/reaped, quota trips by kind, dispatch",
+        "latency percentiles); both are documented in docs/SERVER.md.",
         "",
     ])
     return "\n".join(lines)

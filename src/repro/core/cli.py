@@ -17,6 +17,12 @@ error channel.  ``python -m repro.lint`` runs the analyzer standalone.
 ``--safe`` enables safe mode before any script or backend line is
 evaluated: the Safe-Tcl-style dangerous command set is hidden and
 cannot be restored from the script level (see ``repro.core.safemode``).
+
+``--serve`` starts the multi-session server instead: clients connect
+over ``--socket PATH`` and/or ``--port N`` (``--host`` to bind a
+specific interface, ``--max-sessions`` to cap capacity), each getting
+its own fault-contained Wafe session; ``--stdio`` runs the degenerate
+single-session client on stdin/stdout.  See docs/SERVER.md.
 """
 
 import sys
@@ -43,12 +49,14 @@ def split_arguments(argv):
         arg = argv[i]
         if arg.startswith("--"):
             key = arg[2:]
-            if key in ("f", "app", "prefix", "build", "resources"):
+            if key in ("f", "app", "prefix", "build", "resources",
+                       "socket", "port", "host", "max-sessions"):
                 if i + 1 >= len(argv):
                     raise SystemExit("wafe: option %s needs a value" % arg)
                 frontend[key] = argv[i + 1]
                 i += 2
-            elif key in ("interactive", "version", "help", "lint", "safe"):
+            elif key in ("interactive", "version", "help", "lint", "safe",
+                         "serve", "stdio"):
                 frontend[key] = True
                 i += 1
             else:
@@ -83,6 +91,16 @@ def _main(build, argv=None):
         sys.stdout.write("wafe %s\n" % VERSION)
         return 0
     build = options.get("build", build)
+    if options.get("serve"):
+        # Serve mode: the multi-session server owns the event core and
+        # builds one Wafe instance per connected client (docs/SERVER.md).
+        from repro.server.listener import ServerError, serve_main
+
+        try:
+            return serve_main(options, build=build)
+        except ServerError as err:
+            sys.stderr.write("wafe: %s\n" % err)
+            return 1
     wafe = make_wafe(build=build, display_name=_display_from(xt_args),
                      argv=xt_args)
     if options.get("resources"):

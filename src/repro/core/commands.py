@@ -84,6 +84,8 @@ def cmd_merge_resources(wafe, argv):
     """
     if len(argv) < 2:
         _wrong_args("mergeResources spec value ?spec value ...?")
+    if wafe.quotas is not None:
+        wafe.quotas.charge_xrm(len(wafe.app.database))
     if len(argv) == 2:
         for spec in wafe.app.merge_resources(argv[1]):
             wafe.report_error(
@@ -278,13 +280,16 @@ def cmd_backend_status(wafe, argv):
     if wafe.supervisor is not None:
         return list_to_string(list(wafe.supervisor.status_fields()))
     frontend = wafe.frontend
-    if frontend is None:
+    # A server session poses as the frontend but owns no child process;
+    # it reports "detached" like standalone mode.
+    process = getattr(frontend, "process", None)
+    if frontend is None or process is None:
         return list_to_string(["detached", "", "0", ""])
-    running = not frontend.closed and frontend.process.poll() is None
+    running = not frontend.closed and process.poll() is None
     status = frontend.exit_status
     return list_to_string([
         "running" if running else "exited",
-        str(frontend.process.pid) if running else "",
+        str(process.pid) if running else "",
         "0",
         status.describe() if status else "",
     ])
@@ -402,6 +407,60 @@ def cmd_safe_mode(wafe, argv):
     return "1"
 
 
+def _quota_attrs(quotas):
+    """Command-level attr names derived from the quota resource names
+    (``sessionMaxWidgets`` -> ``maxWidgets``)."""
+    out = {}
+    for attr, name, __, kind, __ in quotas.FIELDS:
+        cmd_name = name[len("session"):]
+        out[cmd_name[0].lower() + cmd_name[1:]] = (attr, kind)
+    return out
+
+
+def cmd_session_quota(wafe, argv):
+    """sessionQuota ?quota? ?value?: per-session resource quotas.
+
+    Server mode only (each connected session carries its own quota
+    set).  With no arguments returns every quota with its value plus
+    the trip counters by kind; with a quota name alone queries it;
+    with a value sets it explicitly (beating resources)."""
+    from repro.tcl.lists import list_to_string
+
+    quotas = wafe.quotas
+    if quotas is None:
+        raise TclError("sessionQuota: no quotas attached "
+                       "(only sessions of a wafe server have quotas)")
+    attrs = _quota_attrs(quotas)
+    if len(argv) == 1:
+        pairs = []
+        for cmd_name in sorted(attrs):
+            attr, __ = attrs[cmd_name]
+            value = getattr(quotas, attr)
+            if isinstance(value, bool):
+                value = "1" if value else "0"
+            pairs += [cmd_name, str(value)]
+        for kind in quotas.TRIP_KINDS:
+            pairs += ["trips(%s)" % kind, str(quotas.trips[kind])]
+        return list_to_string(pairs)
+    if argv[1] not in attrs:
+        raise TclError('bad quota "%s": must be %s'
+                       % (argv[1], ", ".join(sorted(attrs))))
+    attr, kind = attrs[argv[1]]
+    if len(argv) == 2:
+        value = getattr(quotas, attr)
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        return str(value)
+    if len(argv) != 3:
+        _wrong_args("sessionQuota ?quota? ?value?")
+    try:
+        quotas.set(attr, quotas._parse(kind, argv[2]))
+    except ValueError as err:
+        raise TclError("sessionQuota: %s" % err)
+    quotas.notify_changed()
+    return ""
+
+
 def register(wafe):
     wafe.register_command("echo", cmd_echo)
     wafe.register_command("quit", cmd_quit)
@@ -433,3 +492,4 @@ def register(wafe):
     wafe.register_command("safeMode", cmd_safe_mode)
     wafe.register_command("handlerTimeLimit", cmd_handler_time_limit)
     wafe.register_command("onHandlerQuarantine", cmd_on_handler_quarantine)
+    wafe.register_command("sessionQuota", cmd_session_quota)

@@ -19,7 +19,6 @@ reported error -- a stalled backend can never freeze the GUI inside
 ``write()``.  See docs/ROBUSTNESS.md.
 """
 
-import collections
 import os
 import shutil
 import subprocess
@@ -32,6 +31,7 @@ from repro.core.channel import (
     DEFAULT_PREFIX,
     LineParser,
     MassTransferState,
+    OutboundChannel,
 )
 
 
@@ -50,8 +50,12 @@ def _classify(returncode):
     return classify_exit(returncode)
 
 
-class Frontend:
-    """Owns the backend subprocess and its channels."""
+class Frontend(OutboundChannel):
+    """Owns the backend subprocess and its channels.
+
+    The outbound half is the shared :class:`OutboundChannel` machine
+    (the same one the multi-session server's sockets use; see
+    docs/SERVER.md) instantiated over the backend's stdin pipe."""
 
     #: How many bytes may sit unarmed in the mass channel before the
     #: overrun is reported and further unarmed data dropped.
@@ -73,30 +77,12 @@ class Frontend:
         self._mass_watch_id = None
         self._mass_activity = None
         self.passthrough = passthrough  # callable(str) for non-command lines
-        self.closed = False
         self.eof_seen = False
         self.exit_status = None     # ExitStatus once the child is reaped
-        # Outbound writes are buffered so the many ``echo`` lines one
-        # event can fire coalesce into a single write+flush on the pipe
-        # (flushed at event-loop idle, after each batch of backend
-        # input, or on explicit ``sync``).  Bytes the kernel pipe will
-        # not accept right now are parked in ``_pending`` and drained
-        # by an output-readiness watch -- never a blocking write.
-        self._out_buffer = []
-        self._out_buffered_bytes = 0
-        self._pending = collections.deque()
-        self._pending_bytes = 0
-        self._flush_work_id = None
-        self._output_id = None
-        self._overflowed = False
-        self.dropped_bytes = 0
-        # Frame-granularity pipelining: output batches until an
-        # end-of-dispatch flush (the app context's frame hook), with the
-        # idle work proc kept as a liveness backstop.  pipeline=False is
-        # the unpipelined executable spec -- every send() writes through
-        # immediately, one pipe write per line.
-        self.pipeline = True
-        self.stats = self._zero_stats()
+        # The shared outbound machine (coalescing buffer, non-blocking
+        # pending deque + writability watch, high-water backpressure,
+        # frame-granularity pipelining) -- see OutboundChannel.
+        self._init_outbound()
         command = self._resolve_command(program, program_args or [])
         # The mass channel exists from the start so getChannel can
         # report a stable fd number to the application.
@@ -123,19 +109,6 @@ class Frontend:
         wafe.app.add_frame_hook(self._frame_flush)
         wafe.frontend = self
         self._send_init_com()
-
-    @staticmethod
-    def _zero_stats():
-        return {
-            "sends": 0,          # send() calls (echo lines, replies)
-            "pipe_writes": 0,    # successful write() syscalls
-            "bytes_written": 0,
-            "frame_flushes": 0,  # end-of-dispatch flushes with data
-            "sync_points": 0,    # explicit sync-command flushes
-        }
-
-    def reset_stats(self):
-        self.stats = self._zero_stats()
 
     @staticmethod
     def _resolve_command(program, program_args):
@@ -235,12 +208,7 @@ class Frontend:
         return _classify(returncode)
 
     # ------------------------------------------------------------------
-    # Frontend -> application
-
-    # How much outbound data may accumulate before we stop deferring
-    # to loop idle and write through (bounds latency; roughly one pipe
-    # capacity so the write usually completes in one call).
-    FLUSH_THRESHOLD = 32768
+    # Frontend -> application: the OutboundChannel transport hooks
 
     @property
     def high_water(self):
@@ -250,138 +218,42 @@ class Frontend:
             return config.high_water
         return 1 << 20
 
-    def queued_bytes(self):
-        """Everything waiting to reach the backend."""
-        return self._out_buffered_bytes + self._pending_bytes
+    def _channel_open(self):
+        return self.process.stdin is not None
 
-    def send(self, text):
-        """Queue ``text`` for the application; order is preserved.
+    def _channel_write(self, chunk):
+        # bufsize=0 stdin is a raw FileIO whose write() honours
+        # O_NONBLOCK: a partial count, or None on EAGAIN.
+        return self.process.stdin.write(chunk)
 
-        The actual write happens in :meth:`flush` -- scheduled as an
-        idle work proc so all the sends fired by one event become a
-        single ``write()`` on the pipe.  Data beyond the high-water
-        mark is dropped with a reported error rather than buffered
-        without bound (the backend is not consuming its stdin)."""
-        if self.closed or self.process.stdin is None:
-            return
-        if self.queued_bytes() + len(text) > self.high_water:
-            self.dropped_bytes += len(text)
-            if not self._overflowed:
-                self._overflowed = True
-                self.wafe.report_error(
-                    "backend channel overflow: %d bytes queued and the "
-                    "application is not reading; dropping output"
-                    % self.queued_bytes())
-            return
-        self.stats["sends"] += 1
-        self._out_buffer.append(text)
-        self._out_buffered_bytes += len(text)
-        if not self.pipeline:
-            # Unpipelined spec path: one write per send.
-            self.flush()
-        elif self._out_buffered_bytes >= self.FLUSH_THRESHOLD:
-            self.flush()
-        elif self._flush_work_id is None:
-            self._flush_work_id = self.wafe.app.add_work_proc(
-                self._idle_flush)
+    def _channel_dead(self):
+        self._handle_eof()
 
-    def _idle_flush(self):
-        self.flush()
-        return True  # one-shot: the work proc removes itself
+    def _channel_flushed(self):
+        try:
+            self.process.stdin.flush()  # no-op on raw; counts in tests
+        except (BrokenPipeError, OSError, ValueError):
+            return False
+        return True
 
-    def _frame_flush(self):
-        """End-of-dispatch flush point: everything the frame's events
-        echoed goes out as one write."""
-        if self.closed:
-            return
-        if self._out_buffer:
-            self.stats["frame_flushes"] += 1
-            self.flush()
+    def _add_output_watch(self, callback):
+        return self.wafe.app.add_output(self._stdin_fd, callback,
+                                        label="backend stdin drain")
 
-    def sync_point(self):
-        """An explicit ``sync``: flush now.  Ordering is safe out of
-        the box because all output -- echoes, callback replies, and the
-        sync itself -- travels one FIFO buffer: everything sent before
-        this point reaches the backend before anything sent after it,
-        pipelined or not."""
-        self.stats["sync_points"] += 1
-        self.flush()
+    def _remove_output_watch(self, watch_id):
+        self.wafe.app.remove_output(watch_id)
 
-    def flush(self):
-        """Move queued text to the wire -- as much as the pipe accepts.
+    def _add_idle_flush(self, callback):
+        return self.wafe.app.add_work_proc(callback)
 
-        Never blocks: what the kernel will not take right now stays in
-        the pending queue and an output watch on the event loop drains
-        it as the backend reads."""
-        if self._flush_work_id is not None:
-            self.wafe.app.remove_work_proc(self._flush_work_id)
-            self._flush_work_id = None
-        if self._out_buffer:
-            data = "".join(self._out_buffer).encode("utf-8", "replace")
-            self._out_buffer = []
-            self._out_buffered_bytes = 0
-            self._pending.append(data)
-            self._pending_bytes += len(data)
-        self._write_pending()
+    def _remove_idle_flush(self, work_id):
+        self.wafe.app.remove_work_proc(work_id)
 
-    def _write_pending(self):
-        if self.closed or self.process.stdin is None:
-            self._clear_outbound()
-            return
-        wrote_any = False
-        while self._pending:
-            chunk = self._pending[0]
-            try:
-                n = self.process.stdin.write(chunk)
-            except BlockingIOError as err:
-                n = err.characters_written or None
-            except (BrokenPipeError, OSError, ValueError):
-                self._clear_outbound()
-                self._handle_eof()
-                return
-            if n is None:       # EAGAIN: the pipe is full
-                break
-            wrote_any = True
-            self.stats["pipe_writes"] += 1
-            self.stats["bytes_written"] += n
-            self._pending_bytes -= n
-            if n < len(chunk):  # partial write: pipe is now full
-                self._pending[0] = chunk[n:]
-                break
-            self._pending.popleft()
-        if self._pending:
-            if self._output_id is None:
-                self._output_id = self.wafe.app.add_output(
-                    self._stdin_fd, self._on_writable,
-                    label="backend stdin drain")
-        else:
-            self._cancel_output_watch()
-            if self._overflowed:
-                self._overflowed = False  # drained: report again next time
-            if wrote_any:
-                try:
-                    self.process.stdin.flush()  # no-op on raw; counts in tests
-                except (BrokenPipeError, OSError, ValueError):
-                    self._clear_outbound()
-                    self._handle_eof()
-
-    def _on_writable(self, fd):
-        self._write_pending()
-
-    def _cancel_output_watch(self):
-        if self._output_id is not None:
-            self.wafe.app.remove_output(self._output_id)
-            self._output_id = None
-
-    def _clear_outbound(self):
-        self._out_buffer = []
-        self._out_buffered_bytes = 0
-        self._pending.clear()
-        self._pending_bytes = 0
-        self._cancel_output_watch()
-        if self._flush_work_id is not None:
-            self.wafe.app.remove_work_proc(self._flush_work_id)
-            self._flush_work_id = None
+    def _report_overflow(self):
+        self.wafe.report_error(
+            "backend channel overflow: %d bytes queued and the "
+            "application is not reading; dropping output"
+            % self.queued_bytes())
 
     def _drain(self, timeout=0.5):
         """Graceful-close drain: give pending output a bounded chance

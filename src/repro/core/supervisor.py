@@ -152,44 +152,20 @@ def substitute_quarantine(script, kind, fd, label, strikes, exc):
     return "".join(out)
 
 
-class SupervisionConfig:
-    """Tunable supervision knobs, shared by commands and resources.
+class ResourceConfig:
+    """A bundle of tunables fed from two sources with one precedence
+    rule: a value set through a Wafe command is *explicit* and wins
+    over the Xrm resource database; everything else is (re)loaded from
+    resources on demand, mirroring how ``InitCom`` is looked up.
 
-    A value set through a Wafe command is *explicit* and wins over the
-    resource database; everything else is (re)loaded from Xrm when a
-    supervisor starts, mirroring how ``InitCom`` is looked up.
+    Subclasses declare ``FIELDS`` as a tuple of
+    ``(attribute, resource name, resource class, parser, default)``.
+    Both the supervision knobs and the server's per-session quotas are
+    instances of this shape.
     """
 
     #: (attribute, resource name, resource class, parser, default)
-    FIELDS = (
-        ("policy", "restartPolicy", "RestartPolicy", "policy",
-         POLICY_NEVER),
-        ("max_restarts", "maxRestarts", "MaxRestarts", "int", 5),
-        ("backoff_ms", "restartBackoff", "RestartBackoff", "int", 250),
-        ("backoff_cap_ms", "restartBackoffCap", "RestartBackoffCap",
-         "int", 30000),
-        ("on_exit_script", "onBackendExit", "OnBackendExit", "str", None),
-        ("mass_timeout_ms", "massTransferTimeout", "MassTransferTimeout",
-         "int", 0),
-        ("high_water", "channelHighWater", "ChannelHighWater", "int",
-         1 << 20),
-        # Fault containment (docs/ROBUSTNESS.md "Interpreter fault
-        # containment"): eval watchdog budgets, the recursion ceiling,
-        # safe mode, and the panic log destination.
-        ("eval_time_ms", "evalTimeLimit", "EvalTimeLimit", "int", 0),
-        ("eval_commands", "evalCommandLimit", "EvalCommandLimit", "int", 0),
-        ("recursion_limit", "recursionLimit", "RecursionLimit", "int",
-         None),
-        ("safe_mode", "safeMode", "SafeMode", "bool", False),
-        ("panic_log", "panicLog", "PanicLog", "str", None),
-        # Event-core fault knobs (docs/ROBUSTNESS.md "The event core"):
-        # the slow-handler watchdog budget and the script run when a
-        # handler is quarantined after repeated failures.
-        ("handler_time_ms", "handlerTimeLimit", "HandlerTimeLimit",
-         "int", 0),
-        ("on_quarantine_script", "onHandlerQuarantine",
-         "OnHandlerQuarantine", "str", None),
-    )
+    FIELDS = ()
 
     def __init__(self):
         for attr, __, __, __, default in self.FIELDS:
@@ -234,6 +210,40 @@ class SupervisionConfig:
             except ValueError as err:
                 if report is not None:
                     report("bad %s resource: %s" % (name, err))
+
+
+class SupervisionConfig(ResourceConfig):
+    """Tunable supervision knobs, shared by commands and resources."""
+
+    FIELDS = (
+        ("policy", "restartPolicy", "RestartPolicy", "policy",
+         POLICY_NEVER),
+        ("max_restarts", "maxRestarts", "MaxRestarts", "int", 5),
+        ("backoff_ms", "restartBackoff", "RestartBackoff", "int", 250),
+        ("backoff_cap_ms", "restartBackoffCap", "RestartBackoffCap",
+         "int", 30000),
+        ("on_exit_script", "onBackendExit", "OnBackendExit", "str", None),
+        ("mass_timeout_ms", "massTransferTimeout", "MassTransferTimeout",
+         "int", 0),
+        ("high_water", "channelHighWater", "ChannelHighWater", "int",
+         1 << 20),
+        # Fault containment (docs/ROBUSTNESS.md "Interpreter fault
+        # containment"): eval watchdog budgets, the recursion ceiling,
+        # safe mode, and the panic log destination.
+        ("eval_time_ms", "evalTimeLimit", "EvalTimeLimit", "int", 0),
+        ("eval_commands", "evalCommandLimit", "EvalCommandLimit", "int", 0),
+        ("recursion_limit", "recursionLimit", "RecursionLimit", "int",
+         None),
+        ("safe_mode", "safeMode", "SafeMode", "bool", False),
+        ("panic_log", "panicLog", "PanicLog", "str", None),
+        # Event-core fault knobs (docs/ROBUSTNESS.md "The event core"):
+        # the slow-handler watchdog budget and the script run when a
+        # handler is quarantined after repeated failures.
+        ("handler_time_ms", "handlerTimeLimit", "HandlerTimeLimit",
+         "int", 0),
+        ("on_quarantine_script", "onHandlerQuarantine",
+         "OnHandlerQuarantine", "str", None),
+    )
 
 
 class BackendSupervisor:

@@ -62,7 +62,7 @@ class Wafe:
 
     def __init__(self, build="athena", app_name=None, display_name=":0",
                  argv=None, compile=True, use_selectors=True,
-                 use_regions=True, naive_regions=False):
+                 use_regions=True, naive_regions=False, core=None):
         self.build = build
         if app_name is None:
             app_name = "wafe" if build == "athena" else "mofe"
@@ -73,11 +73,15 @@ class Wafe:
         # ``use_regions=False`` falls back to eager full-window exposes
         # and ``naive_regions=True`` swaps the band Region for the
         # rect-list spec (both for the damage-rendering A/B).
+        # ``core`` injects a *shared* event core (the session server
+        # runs many Wafe instances on one loop); global core hooks stay
+        # with the core's owner then.
         self.interp = Interp(compile=compile)
         self.app = XtAppContext(app_name, app_class, display_name,
                                 use_selectors=use_selectors,
                                 use_regions=use_regions,
-                                naive_regions=naive_regions)
+                                naive_regions=naive_regions,
+                                core=core)
         self.app.widget_destroyed = self._widget_destroyed
         self.classes = _class_table(build)
         self.widgets = {}
@@ -85,6 +89,7 @@ class Wafe:
         self.frontend = None       # set in frontend mode
         self.supervisor = None     # set when a BackendSupervisor attaches
         self.supervision = _SupervisionConfig()  # shared policy knobs
+        self.quotas = None         # per-session quotas (server mode)
         self.quit_requested = False
         self.error_sink = None     # callable(str) for reporting errors
         self.safe_mode = False     # set by enable_safe_mode()
@@ -95,9 +100,11 @@ class Wafe:
         self.app.error_handler = self._xt_fault
         # Event-core advisories (quarantines, slow handlers, fd leaks)
         # use the ordinary error channel; a quarantine additionally
-        # fires the ``onHandlerQuarantine`` script.
-        self.app.message_hook = self.report_error
-        self.app.core.on_quarantine = self._handler_quarantined
+        # fires the ``onHandlerQuarantine`` script.  On a shared core
+        # both hooks belong to the owning (server) context.
+        if self.app.owns_core:
+            self.app.message_hook = self.report_error
+            self.app.core.on_quarantine = self._handler_quarantined
         # The automatically created top level shell of every Wafe program.
         self.top_level = ApplicationShell("topLevel", None, app=self.app)
         self.widgets["topLevel"] = self.top_level
@@ -315,6 +322,8 @@ class Wafe:
                 "attribute list must have an even number of elements")
         args = {rest[i]: rest[i + 1] for i in range(0, len(rest), 2)}
         parent = self.lookup_widget(parent_name)
+        if self.quotas is not None:
+            self.quotas.charge_widgets(len(self.widgets))
         widget = klass(name, parent, args=args, managed=managed)
         self.widgets[name] = widget
         if parent.realized and managed and not getattr(widget, "is_popup",
@@ -326,6 +335,8 @@ class Wafe:
         """``applicationShell top2 dec4:0``: a shell on another display."""
         if name in self.widgets:
             raise TclError('widget "%s" already exists' % name)
+        if self.quotas is not None:
+            self.quotas.charge_widgets(len(self.widgets))
         display = self.app.use_display(display_name)
         shell = ApplicationShell(name, None, args=args, app=self.app)
         shell._display = display

@@ -1,0 +1,27 @@
+"""Run the session server standalone:
+
+    python -m repro.server --socket /tmp/wafe.sock
+    python -m repro.server --port 7878 --max-sessions 64
+    python -m repro.server --stdio
+
+This is the same serve mode as ``wafe --serve``; see docs/SERVER.md.
+"""
+
+import sys
+
+from repro.core.cli import split_arguments
+from repro.server.listener import ServerError, serve_main
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    options, __, __ = split_arguments(argv)
+    try:
+        return serve_main(options, build=options.get("build", "athena"))
+    except ServerError as err:
+        sys.stderr.write("wafe-server: %s\n" % err)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Per-session resource quotas and server-level tuning knobs.
+
+Both are :class:`~repro.core.supervisor.ResourceConfig` bundles: a
+value set through a command (``sessionQuota``) or programmatically is
+explicit and wins; everything else can be loaded from the Xrm resource
+database the same way supervision policy is.
+
+The quota set answers one question per resource class: how much of the
+shared server may one client consume before its demands become the
+server's problem?  Widget count and Xrm entries bound memory, the
+outbound high water bounds a stalled reader, the line length bounds a
+garbage sender, the eval budgets bound a ``while 1 {}`` bomb, and the
+idle timeout bounds a half-open socket.  Every trip is counted by kind;
+a session accumulating ``max_trips`` total trips is reaped.
+"""
+
+from repro.tcl.errors import TclError
+from repro.core.channel import DEFAULT_MAX_LINE
+from repro.core.supervisor import ResourceConfig
+
+
+class SessionQuotas(ResourceConfig):
+    """One connected session's resource budget (all 0 = unlimited,
+    except ``max_trips`` where 0 disables reap-on-trips)."""
+
+    FIELDS = (
+        ("max_widgets", "sessionMaxWidgets", "SessionMaxWidgets",
+         "int", 512),
+        ("max_xrm_entries", "sessionMaxXrmEntries", "SessionMaxXrmEntries",
+         "int", 2048),
+        ("high_water", "sessionHighWater", "SessionHighWater",
+         "int", 256 * 1024),
+        ("max_line", "sessionMaxLine", "SessionMaxLine",
+         "int", DEFAULT_MAX_LINE),
+        ("idle_ms", "sessionIdleTimeout", "SessionIdleTimeout",
+         "int", 0),
+        ("eval_time_ms", "sessionEvalTimeLimit", "SessionEvalTimeLimit",
+         "int", 1000),
+        ("eval_commands", "sessionEvalCommandLimit",
+         "SessionEvalCommandLimit", "int", 0),
+        ("safe_mode", "sessionSafeMode", "SessionSafeMode",
+         "bool", False),
+        ("max_trips", "sessionMaxTrips", "SessionMaxTrips",
+         "int", 16),
+    )
+
+    #: Every way a session can hit a budget.  ``commands``/``time``/
+    #: ``recursion`` arrive from the interpreter's limit machinery via
+    #: ``on_limit_trip``; the rest are charged at their choke points.
+    TRIP_KINDS = ("widgets", "xrm", "overflow", "line", "idle",
+                  "commands", "time", "recursion")
+
+    def __init__(self):
+        super().__init__()
+        self.trips = dict.fromkeys(self.TRIP_KINDS, 0)
+        # ``on_trip(kind, message)`` observes every trip (the session
+        # escalates to a reap past ``max_trips``); ``on_change()`` fires
+        # after a sessionQuota set so live limits are re-applied.
+        self.on_trip = None
+        self.on_change = None
+
+    def total_trips(self):
+        return sum(self.trips.values())
+
+    def trip(self, kind, message=None):
+        """Count one budget trip and notify the observer."""
+        self.trips[kind] += 1
+        hook = self.on_trip
+        if hook is not None:
+            try:
+                hook(kind, message)
+            except Exception:  # noqa: BLE001 -- observer must not mask
+                pass
+
+    def notify_changed(self):
+        hook = self.on_change
+        if hook is not None:
+            hook()
+
+    # -- choke-point charges (raise so the offending command fails) ----
+
+    def charge_widgets(self, count):
+        """Called before each widget creation with the current count."""
+        if self.max_widgets and count >= self.max_widgets:
+            message = ("session widget quota exceeded "
+                       "(%d widgets allowed)" % self.max_widgets)
+            self.trip("widgets", message)
+            raise TclError(message)
+
+    def charge_xrm(self, count):
+        """Called before each mergeResources with the current entry
+        count."""
+        if self.max_xrm_entries and count >= self.max_xrm_entries:
+            message = ("session resource-database quota exceeded "
+                       "(%d entries allowed)" % self.max_xrm_entries)
+            self.trip("xrm", message)
+            raise TclError(message)
+
+
+class ServerConfig(ResourceConfig):
+    """Listener-level tuning: capacity cap, accept backlog, reaper
+    cadence, and the shutdown drain budget."""
+
+    FIELDS = (
+        ("max_sessions", "serverMaxSessions", "ServerMaxSessions",
+         "int", 256),
+        ("backlog", "serverBacklog", "ServerBacklog", "int", 64),
+        ("reap_interval_ms", "serverReapInterval", "ServerReapInterval",
+         "int", 1000),
+        ("drain_timeout_ms", "serverDrainTimeout", "ServerDrainTimeout",
+         "int", 500),
+    )

@@ -220,6 +220,11 @@ class Interp:
         self._limit_fresh = False
         self._next_check = _NO_CHECK
         self._limit_trips = {"commands": 0, "time": 0, "recursion": 0}
+        # Embedder hook fired on every budget trip with the trip kind
+        # ("commands"/"time"/"recursion"); the server's quota ledger
+        # hangs off this.  Hook failures are contained -- a broken
+        # observer must not mask the limit error itself.
+        self.on_limit_trip = None
         # The Python-exception firewall counter (``info evalstats``).
         self.firewall_catches = 0
         # Safe mode (Safe Tcl): hidden commands are parked here, out of
@@ -654,7 +659,7 @@ class Interp:
         ceiling = self._limit_cmd_ceiling
         if ceiling is not None and count >= ceiling:
             self._disarm_limits()
-            self._limit_trips["commands"] += 1
+            self._note_limit_trip("commands")
             raise TclLimitError(
                 "command count limit exceeded (budget %d commands)"
                 % self.limit_commands, "commands")
@@ -666,13 +671,22 @@ class Interp:
                     _time.monotonic() + self.limit_time_ms / 1000.0)
             elif _time.monotonic() >= deadline:
                 self._disarm_limits()
-                self._limit_trips["time"] += 1
+                self._note_limit_trip("time")
                 raise TclLimitError(
                     "time limit exceeded (budget %d ms)"
                     % self.limit_time_ms, "time")
 
+    def _note_limit_trip(self, kind):
+        self._limit_trips[kind] += 1
+        hook = self.on_limit_trip
+        if hook is not None:
+            try:
+                hook(kind)
+            except Exception:  # noqa: BLE001 -- observer must not mask
+                pass
+
     def _recursion_error(self):
-        self._limit_trips["recursion"] += 1
+        self._note_limit_trip("recursion")
         return TclError("too many nested evaluations (infinite loop?)")
 
     def _start_errorinfo(self, err, script):

@@ -24,7 +24,9 @@ for real against this server, which is what lets the benchmarks measure
 refresh behaviour and click-ahead rather than assert them.
 """
 
-from repro.xlib.display import Display, Window, open_display, close_all_displays
+from repro.xlib.display import (Display, Window, open_display,
+                                close_display, close_all_displays)
 from repro.xlib.events import XEvent
 
-__all__ = ["Display", "Window", "XEvent", "open_display", "close_all_displays"]
+__all__ = ["Display", "Window", "XEvent", "open_display", "close_display",
+           "close_all_displays"]

@@ -651,6 +651,15 @@ def open_display(name=":0"):
     return display
 
 
+def close_display(name):
+    """Tear down one named virtual display and drop it from the cache
+    (per-session displays would otherwise accumulate for the life of
+    the server).  Safe no-op for unknown names."""
+    display = _displays.pop(name, None)
+    if display is not None:
+        display.close()
+
+
 def close_all_displays():
     """Tear down every virtual display (test isolation)."""
     for display in _displays.values():

@@ -31,7 +31,7 @@ class XtAppContext:
 
     def __init__(self, app_name="wafe", app_class="Wafe",
                  display_name=":0", use_selectors=True, use_regions=True,
-                 naive_regions=False):
+                 naive_regions=False, core=None):
         self.app_name = app_name
         self.app_class = app_class
         # Damage-rendering A/B hatches, applied to every display this
@@ -48,10 +48,20 @@ class XtAppContext:
         self._window_widgets = {}
         # The unified event core: every timer, fd watch and work proc
         # goes through it (``use_selectors=False`` keeps the historical
-        # raw-select pass as the executable spec).
-        self.core = EventCore(use_selectors=use_selectors)
-        self.core.error_handler = self.report_exception
-        self.core.report = self.report_message
+        # raw-select pass as the executable spec).  A server injects one
+        # shared core into many contexts (one per session); only the
+        # owning context installs the global hooks or may shut it down,
+        # and a non-owning context tracks every source it registers so
+        # session teardown can sweep them off the shared loop.
+        self.owns_core = core is None
+        self.core = EventCore(use_selectors=use_selectors) \
+            if core is None else core
+        if self.owns_core:
+            self.core.error_handler = self.report_exception
+            self.core.report = self.report_message
+        self._shared_timers = set()
+        self._shared_watches = set()
+        self._shared_work = set()
         self._quit = False
         self.event_count = 0
         self.dispatch_hook = None  # observe every dispatched event
@@ -190,36 +200,81 @@ class XtAppContext:
 
     def add_timeout(self, interval_ms, func, *args):
         """XtAppAddTimeOut; returns an id usable with remove_timeout."""
-        return self.core.add_timer(interval_ms, func, args)
+        if self.owns_core:
+            return self.core.add_timer(interval_ms, func, args)
+        holder = []
+
+        def fire(*timer_args):
+            if holder:
+                self._shared_timers.discard(holder[0])
+            return func(*timer_args)
+
+        timer_id = self.core.add_timer(interval_ms, fire, args)
+        holder.append(timer_id)
+        self._shared_timers.add(timer_id)
+        return timer_id
 
     def remove_timeout(self, timeout_id):
         """Safe no-op when the timer already fired or was cancelled."""
+        self._shared_timers.discard(timeout_id)
         self.core.remove_timer(timeout_id)
 
     def add_input(self, fileobj, func, label=None):
         """XtAppAddInput: call func(fileobj) when readable."""
-        return self.core.add_reader(fileobj, func, label=label)
+        watch_id = self.core.add_reader(fileobj, func, label=label)
+        if not self.owns_core:
+            self._shared_watches.add(watch_id)
+        return watch_id
 
     def remove_input(self, input_id):
         """Safe no-op on double removal, removal from inside the
         handler itself, or removal after quarantine."""
+        self._shared_watches.discard(input_id)
         self.core.remove_watch(input_id)
 
     def add_output(self, fileobj, func, label=None):
         """XtAppAddInput with XtInputWriteMask: call func(fileobj) when
         the descriptor is writable (used for non-blocking pipe drains)."""
-        return self.core.add_writer(fileobj, func, label=label)
+        watch_id = self.core.add_writer(fileobj, func, label=label)
+        if not self.owns_core:
+            self._shared_watches.add(watch_id)
+        return watch_id
 
     def remove_output(self, output_id):
         """Safe no-op when the watch is already gone."""
+        self._shared_watches.discard(output_id)
         self.core.remove_watch(output_id)
 
     def add_work_proc(self, func, label=None):
         """XtAppAddWorkProc: func() -> True removes itself."""
-        return self.core.add_work_proc(func, label=label)
+        work_id = self.core.add_work_proc(func, label=label)
+        if not self.owns_core:
+            self._shared_work.add(work_id)
+        return work_id
 
     def remove_work_proc(self, work_id):
+        self._shared_work.discard(work_id)
         self.core.remove_work_proc(work_id)
+
+    def release_core_sources(self):
+        """Sweep every source this context registered off a shared core
+        (session teardown).  Each removal is a safe no-op for sources
+        that already fired, were removed, or were quarantined; returns
+        how many were still live."""
+        released = 0
+        for timer_id in list(self._shared_timers):
+            if self.core.remove_timer(timer_id):
+                released += 1
+        self._shared_timers.clear()
+        for watch_id in list(self._shared_watches):
+            if self.core.remove_watch(watch_id):
+                released += 1
+        self._shared_watches.clear()
+        for work_id in list(self._shared_work):
+            if self.core.remove_work_proc(work_id):
+                released += 1
+        self._shared_work.clear()
+        return released
 
     # Compatibility views of the core's state (the pre-eventcore
     # attribute shapes, still used by tests and introspection).
@@ -415,9 +470,15 @@ class XtAppContext:
     def shutdown(self, drain_timeout=0.5):
         """Graceful shutdown: bounded drain of pending writer watches,
         then unregister every remaining source (leaks are counted and
-        reported).  The context stays usable afterwards."""
+        reported).  The context stays usable afterwards.
+
+        A context on a *shared* core must not tear the loop down under
+        its sibling sessions: it only releases its own sources."""
         self._quit = True
-        return self.core.shutdown(drain_timeout)
+        if self.owns_core:
+            return self.core.shutdown(drain_timeout)
+        self.release_core_sources()
+        return 0
 
     def exit_loop(self):
         """The ``quit`` command."""

@@ -57,6 +57,7 @@ the same A/B hatch style as ``Interp(compile=False)`` and
 gates the selector path against it at 1k watched fds.
 """
 
+import errno
 import heapq
 import os
 import select
@@ -72,7 +73,7 @@ _COUNTERS = (
     "registered", "unregistered", "dispatches", "timers_scheduled",
     "timers_fired", "timers_cancelled", "polls", "handler_errors",
     "quarantined", "slow_dispatches", "stale_skips", "dead_fd_drops",
-    "leaked_watches", "eintr_retries",
+    "leaked_watches", "eintr_retries", "accepts", "accept_failures",
 )
 
 
@@ -558,6 +559,34 @@ class EventCore:
                        ' "%s"' % watch.label if watch.label else "",
                        fd))
         return dropped
+
+    def accept_connection(self, listen_socket):
+        """One EINTR/EAGAIN-safe nonblocking ``accept``.
+
+        Returns ``(conn, addr)`` with the connection already
+        nonblocking, or None when nothing is actually there -- a
+        spurious wakeup (EAGAIN), a connection aborted between poll and
+        accept (ECONNABORTED, which BSD-style accept loops must
+        swallow), or a transient kernel refusal.  Hard failures are
+        counted and reported, never raised into the loop."""
+        while True:
+            try:
+                conn, addr = listen_socket.accept()
+            except InterruptedError:
+                self._counters["eintr_retries"] += 1
+                continue
+            except BlockingIOError:
+                return None
+            except OSError as exc:
+                if exc.errno in (errno.EAGAIN, errno.EWOULDBLOCK,
+                                 errno.ECONNABORTED, errno.EPROTO):
+                    return None
+                self._counters["accept_failures"] += 1
+                self._report("accept failed: %s" % exc)
+                return None
+            self._counters["accepts"] += 1
+            conn.setblocking(False)
+            return conn, addr
 
     # ------------------------------------------------------------------
     # Bounded waits and shutdown
